@@ -1,0 +1,100 @@
+// Section 6.3, second experiment: replace the worst-case execution time
+// of the PE (de)serialization routines with the communication assist of
+// [13] (the serialization no longer counts towards the processing
+// element) and re-run the SDF3 analysis with the actors mapped to the
+// same resources. The paper reports up to 300% higher throughput.
+// Like the paper, this is an analytic (SDF3) experiment: "this result
+// could not be verified on hardware because there is currently no
+// support for tiles using a CA".
+#include <cstdio>
+
+#include "mjpeg_experiment.hpp"
+
+int main() {
+  using namespace mamps;
+  using namespace mamps::bench;
+
+  std::printf("Section 6.3 - Communication-assist experiment (SDF3 analysis)\n\n");
+  std::printf("%-10s %18s %18s %10s\n", "network", "PE-serial (MCU/Mc)", "CA (MCU/Mc)",
+              "increase");
+
+  for (const auto kind :
+       {platform::InterconnectKind::Fsl, platform::InterconnectKind::NocMesh}) {
+    // Baseline mapping with PE-based serialization.
+    const MjpegDeployment base = deployMjpeg(kind);
+    const double pe = base.result.throughput.iterationsPerCycle.toDouble();
+
+    // Same binding, schedules, routes, and buffers — only the
+    // serialization moves to the CA.
+    mapping::Mapping caMapping = base.result.mapping;
+    caMapping.serialization = comm::SerializationMode::CommAssist;
+    std::vector<std::uint64_t> wcets(base.app.model.graph().actorCount());
+    for (sdf::ActorId a = 0; a < wcets.size(); ++a) {
+      wcets[a] = base.app.model.implementations(a).front().wcetCycles;
+    }
+    const auto ca = mapping::analyzeMapping(base.app.model, base.arch, caMapping, wcets);
+    if (!ca.ok()) {
+      std::printf("CA analysis failed\n");
+      return 1;
+    }
+    const double caThroughput = ca.iterationsPerCycle.toDouble();
+    std::printf("%-10s %18.4f %18.4f %9.1f%%\n",
+                std::string(platform::interconnectKindName(kind)).c_str(), pe * 1e6,
+                caThroughput * 1e6, 100.0 * (caThroughput / pe - 1.0));
+  }
+
+  std::printf("\nPaper: 'an increased throughput for our case-study by up to 300%%\n");
+  std::printf("when actors were mapped to the same resources'. The gain is bounded\n");
+  std::printf("by the serialization share of the bottleneck tile's time; with our\n");
+  std::printf("calibrated compute-heavy actors that share is small, so the MJPEG\n");
+  std::printf("gain is modest. The stress case below shows a communication-\n");
+  std::printf("dominated configuration reaching the paper's 300%% regime.\n");
+
+  // Communication-dominated stress variant: tiny compute, fat tokens —
+  // the regime in which the CA's 300% materializes.
+  {
+    sdf::Graph g("commheavy");
+    const auto a = g.addActor("producer");
+    const auto b = g.addActor("consumer");
+    sdf::ChannelSpec spec;
+    spec.src = a;
+    spec.dst = b;
+    spec.tokenSizeBytes = 2048;  // 512 words per token
+    spec.name = "stream";
+    g.connect(spec);
+    g.connect(b, 1, a, 1, 4, "window");
+    sdf::ApplicationModel model(std::move(g));
+    for (sdf::ActorId actor = 0; actor < 2; ++actor) {
+      sdf::ActorImplementation impl;
+      impl.functionName = actor == 0 ? "produce" : "consume";
+      impl.processorType = "microblaze";
+      impl.wcetCycles = 300;
+      impl.instrMemBytes = 2048;
+      impl.dataMemBytes = 4096;
+      impl.argumentChannels = {0};
+      model.addImplementation(actor, impl);
+    }
+    model.setImplicit(1, true);
+
+    platform::TemplateRequest request;
+    request.tileCount = 2;
+    // Deep FSL FIFOs double-buffer whole tokens in the NI, letting the
+    // CA, the link, and the PEs pipeline fully.
+    request.fslFifoDepthWords = 2048;
+    const platform::Architecture arch = platform::generateFromTemplate(request);
+    mapping::MappingOptions options;
+    options.serialization = comm::SerializationMode::OnProcessor;
+    const auto pe = mapping::mapApplication(model, arch, options);
+    options.serialization = comm::SerializationMode::CommAssist;
+    const auto ca = mapping::mapApplication(model, arch, options);
+    if (pe && ca && pe->throughput.ok() && ca->throughput.ok()) {
+      const double gain = ca->throughput.iterationsPerCycle.toDouble() /
+                          pe->throughput.iterationsPerCycle.toDouble();
+      std::printf("\nStress case (2048-byte tokens, 300-cycle actors, FSL):\n");
+      std::printf("  PE-serialization: %.4f iter/Mcycle, CA: %.4f iter/Mcycle -> +%.0f%%\n",
+                  pe->throughput.iterationsPerCycle.toDouble() * 1e6,
+                  ca->throughput.iterationsPerCycle.toDouble() * 1e6, 100.0 * (gain - 1.0));
+    }
+  }
+  return 0;
+}

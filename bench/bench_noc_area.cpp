@@ -1,0 +1,39 @@
+// Section 5.3.1: "The changes to the NoC [adding flow control] required
+// approximately 12% more slices on the FPGA when compared to the
+// original implementation." Reproduced by the slice-area model for a
+// range of mesh sizes.
+#include <cstdio>
+
+#include "platform/arch_template.hpp"
+#include "platform/area.hpp"
+
+int main() {
+  using namespace mamps::platform;
+
+  std::printf("Section 5.3.1 - SDM NoC flow-control area overhead\n\n");
+  std::printf("%-8s %-8s %14s %14s %10s\n", "mesh", "wires", "no flow-ctl", "flow-ctl",
+              "overhead");
+
+  for (const std::uint32_t tiles : {2u, 4u, 6u, 9u, 16u}) {
+    for (const std::uint32_t wires : {16u, 32u}) {
+      TemplateRequest request;
+      request.tileCount = tiles;
+      request.interconnect = InterconnectKind::NocMesh;
+      request.nocWiresPerLink = wires;
+      const Architecture arch = generateFromTemplate(request);
+
+      NocConfig with = arch.noc();
+      with.flowControl = true;
+      NocConfig without = arch.noc();
+      without.flowControl = false;
+      const std::uint32_t routers = with.rows * with.cols;
+      const std::uint32_t slicesWith = routers * nocRouterSlices(with);
+      const std::uint32_t slicesWithout = routers * nocRouterSlices(without);
+      std::printf("%ux%-6u %-8u %14u %14u %9.1f%%\n", with.rows, with.cols, wires,
+                  slicesWithout, slicesWith,
+                  100.0 * (static_cast<double>(slicesWith) / slicesWithout - 1.0));
+    }
+  }
+  std::printf("\nPaper: approximately 12%% more slices with flow control.\n");
+  return 0;
+}

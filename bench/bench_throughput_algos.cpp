@@ -1,0 +1,69 @@
+// Ablation: the two throughput engines of the analysis module — the
+// self-timed state-space exploration (used by the flow on binding-aware
+// graphs) and maximum-cycle-ratio analysis on the HSDF expansion. They
+// compute identical values (asserted in the test suite); this bench
+// compares their runtime as graphs grow, using google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "analysis/buffer.hpp"
+#include "analysis/mcm.hpp"
+#include "analysis/throughput.hpp"
+#include "sdf/graph.hpp"
+#include "support/rng.hpp"
+
+using namespace mamps;
+
+namespace {
+
+/// A ring of `n` actors with `tokens` initial tokens on the closing
+/// edge and pseudo-random execution times.
+sdf::TimedGraph makeRing(std::uint32_t n, std::uint64_t tokens, std::uint64_t seed) {
+  Rng rng(seed);
+  sdf::Graph g("ring");
+  std::vector<sdf::ActorId> ids;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ids.push_back(g.addActor("r" + std::to_string(i)));
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    g.connect(ids[i], 1, ids[(i + 1) % n], 1, (i + 1 == n) ? tokens : 0);
+  }
+  sdf::TimedGraph timed;
+  timed.graph = std::move(g);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    timed.execTime.push_back(rng.range(1, 50));
+  }
+  return timed;
+}
+
+void BM_StateSpaceThroughput(benchmark::State& state) {
+  const auto timed = makeRing(static_cast<std::uint32_t>(state.range(0)),
+                              static_cast<std::uint64_t>(state.range(1)), 42);
+  for (auto _ : state) {
+    const auto result = analysis::computeThroughput(timed);
+    benchmark::DoNotOptimize(result.iterationsPerCycle);
+  }
+}
+BENCHMARK(BM_StateSpaceThroughput)->Args({4, 1})->Args({8, 2})->Args({16, 4})->Args({32, 8});
+
+void BM_McrThroughput(benchmark::State& state) {
+  const auto timed = makeRing(static_cast<std::uint32_t>(state.range(0)),
+                              static_cast<std::uint64_t>(state.range(1)), 42);
+  for (auto _ : state) {
+    const auto result = analysis::throughputViaMcr(timed);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_McrThroughput)->Args({4, 1})->Args({8, 2})->Args({16, 4})->Args({32, 8});
+
+void BM_BufferSizing(benchmark::State& state) {
+  const auto timed = makeRing(static_cast<std::uint32_t>(state.range(0)), 2, 7);
+  for (auto _ : state) {
+    const auto result = analysis::minimalDeadlockFreeCapacities(timed.graph);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BufferSizing)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// A tour of the MAMPS architecture template (Figure 3): the tile
+// variants, the two interconnects, the area model, and the XML
+// interchange format of architecture descriptions.
+#include <cstdio>
+
+#include "platform/arch_template.hpp"
+#include "platform/area.hpp"
+#include "platform/io.hpp"
+#include "platform/noc_topology.hpp"
+
+using namespace mamps;
+using namespace mamps::platform;
+
+int main() {
+  // --- Tile variants (Figure 3) -------------------------------------------
+  std::printf("Tile variants and their slice areas:\n");
+  for (const TileKind kind :
+       {TileKind::Master, TileKind::Slave, TileKind::CommAssist, TileKind::HardwareIp}) {
+    Tile tile;
+    tile.name = std::string(tileKindName(kind));
+    tile.kind = kind;
+    std::printf("  %-12s %5u slices%s\n", tileKindName(kind).data(), tileSlices(tile),
+                tile.hasPeripherals() ? "  (owns the board peripherals)" : "");
+  }
+
+  // --- Near-square mesh sizing (Section 5.3.1) ----------------------------
+  std::printf("\nNoC mesh sizing (kept close to square to bound latency):\n");
+  for (const std::uint32_t n : {2u, 3u, 5u, 6u, 9u, 12u}) {
+    const auto [rows, cols] = nearSquareMesh(n);
+    std::printf("  %2u tiles -> %u x %u mesh\n", n, rows, cols);
+  }
+
+  // --- XY routing demo ------------------------------------------------------
+  NocConfig config;
+  config.rows = 3;
+  config.cols = 3;
+  const NocTopology topology(config);
+  std::printf("\nXY route from router 0 (0,0) to router 8 (2,2):\n  ");
+  for (const LinkId link : topology.xyRoute(0, 8)) {
+    std::printf("%u->%u  ", topology.link(link).fromRouter, topology.link(link).toRouter);
+  }
+  std::printf("\n");
+
+  // --- Flow-control area overhead (Section 5.3.1) --------------------------
+  NocConfig withFc = config;
+  withFc.flowControl = true;
+  NocConfig withoutFc = config;
+  withoutFc.flowControl = false;
+  std::printf("\nSDM router: %u slices without flow control, %u with (+%.1f%%)\n",
+              nocRouterSlices(withoutFc), nocRouterSlices(withFc),
+              100.0 * (static_cast<double>(nocRouterSlices(withFc)) /
+                           static_cast<double>(nocRouterSlices(withoutFc)) -
+                       1.0));
+
+  // --- Architecture XML -----------------------------------------------------
+  TemplateRequest request;
+  request.tileCount = 4;
+  request.interconnect = InterconnectKind::NocMesh;
+  const Architecture arch = generateFromTemplate(request);
+  std::printf("\nGenerated architecture description:\n%s\n", architectureToXml(arch).c_str());
+
+  // Round-trip through the interchange format.
+  const Architecture reparsed = architectureFromString(architectureToXml(arch));
+  std::printf("Round-trip through XML: %zu tiles, %s interconnect — ok\n",
+              reparsed.tileCount(),
+              std::string(interconnectKindName(reparsed.interconnect())).c_str());
+  return 0;
+}

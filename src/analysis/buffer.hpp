@@ -1,0 +1,62 @@
+// Storage-distribution (buffer capacity) analysis.
+//
+// A bounded channel buffer is modeled by a reverse edge carrying "space
+// tokens" (Stuijk [14]): a channel with capacity beta tokens gets a
+// back-edge dst -> src with beta - initialTokens space tokens, the
+// production rate of the back-edge equal to the forward consumption
+// rate and vice versa. The producer then blocks until space is free,
+// exactly like the generated platform's software does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/throughput.hpp"
+#include "sdf/graph.hpp"
+
+namespace mamps::analysis {
+
+/// Capacity per channel, in tokens. Zero means unbounded (no back-edge);
+/// self-edges are never capacitated (their token count is fixed).
+using BufferCapacities = std::vector<std::uint64_t>;
+
+/// Build the capacitated graph: a copy of `g` with one space back-edge
+/// per bounded channel. Back-edges are named "<channel>_space". Throws
+/// ModelError when a capacity is smaller than the channel's initial
+/// tokens or smaller than max(prodRate, consRate).
+[[nodiscard]] sdf::Graph withCapacities(const sdf::Graph& g, const BufferCapacities& capacities);
+
+/// Timed variant: back-edge transport is instantaneous (space is
+/// released by the consumer firing itself), so execution times carry
+/// over unchanged.
+[[nodiscard]] sdf::TimedGraph withCapacities(const sdf::TimedGraph& timed,
+                                             const BufferCapacities& capacities);
+
+/// The classical per-channel lower bound for a deadlock-free capacity:
+/// prod + cons - gcd(prod, cons) + (initialTokens mod gcd), and at least
+/// the number of initial tokens.
+[[nodiscard]] std::uint64_t capacityLowerBound(const sdf::Channel& c);
+
+/// Smallest per-channel capacities (found by demand-driven search) for
+/// which the graph executes one iteration without deadlock. Returns
+/// nullopt when the uncapacitated graph itself deadlocks.
+[[nodiscard]] std::optional<BufferCapacities> minimalDeadlockFreeCapacities(const sdf::Graph& g);
+
+struct BufferSizingResult {
+  BufferCapacities capacities;
+  Rational achievedThroughput = Rational(0);
+  std::uint64_t totalTokens = 0;  ///< sum of capacities
+  std::uint64_t totalBytes = 0;   ///< capacity * tokenSize summed
+};
+
+/// Greedy throughput-constrained buffer sizing: starting from the
+/// minimal deadlock-free distribution, repeatedly grow the capacity
+/// that yields the best throughput improvement per added byte until
+/// `targetIterationsPerCycle` is met. Returns nullopt when the target
+/// is unreachable even with effectively-unbounded buffers.
+[[nodiscard]] std::optional<BufferSizingResult> sizeBuffersForThroughput(
+    const sdf::TimedGraph& timed, const Rational& targetIterationsPerCycle,
+    std::uint64_t maxRounds = 512);
+
+}  // namespace mamps::analysis

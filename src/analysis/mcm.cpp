@@ -1,0 +1,343 @@
+#include "analysis/mcm.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "sdf/hsdf.hpp"
+
+namespace mamps::analysis {
+namespace {
+
+using sdf::ActorId;
+using sdf::ChannelId;
+using sdf::Graph;
+
+struct Edge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::int64_t weight = 0;  ///< execution time of `from`
+  std::int64_t delay = 0;   ///< initial tokens
+};
+
+void requireHsdf(const sdf::TimedGraph& hsdf) {
+  for (const sdf::Channel& c : hsdf.graph.channels()) {
+    if (c.prodRate != 1 || c.consRate != 1) {
+      throw AnalysisError("cycle-ratio analysis requires an HSDF graph (all rates 1)");
+    }
+  }
+  if (hsdf.execTime.size() != hsdf.graph.actorCount()) {
+    throw AnalysisError("cycle-ratio analysis: execTime size mismatch");
+  }
+}
+
+std::vector<Edge> buildEdges(const sdf::TimedGraph& hsdf) {
+  std::vector<Edge> edges;
+  edges.reserve(hsdf.graph.channelCount());
+  for (const sdf::Channel& c : hsdf.graph.channels()) {
+    Edge e;
+    e.from = c.src;
+    e.to = c.dst;
+    e.weight = static_cast<std::int64_t>(hsdf.execTime[c.src]);
+    e.delay = static_cast<std::int64_t>(c.initialTokens);
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+/// Nodes on at least one cycle: iteratively strip nodes with zero
+/// in-degree or zero out-degree.
+std::vector<bool> nodesOnCycles(std::size_t n, const std::vector<Edge>& edges) {
+  std::vector<bool> alive(n, true);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::uint32_t> inDeg(n, 0);
+    std::vector<std::uint32_t> outDeg(n, 0);
+    for (const Edge& e : edges) {
+      if (alive[e.from] && alive[e.to]) {
+        ++outDeg[e.from];
+        ++inDeg[e.to];
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (alive[v] && (inDeg[v] == 0 || outDeg[v] == 0)) {
+        alive[v] = false;
+        changed = true;
+      }
+    }
+  }
+  return alive;
+}
+
+}  // namespace
+
+CycleRatioResult maxCycleRatioHoward(const sdf::TimedGraph& hsdf) {
+  requireHsdf(hsdf);
+  const std::size_t n = hsdf.graph.actorCount();
+  std::vector<Edge> allEdges = buildEdges(hsdf);
+
+  // Restrict to the cyclic core; acyclic parts never constrain the
+  // steady-state period.
+  const std::vector<bool> alive = nodesOnCycles(n, allEdges);
+  std::vector<Edge> edges;
+  for (const Edge& e : allEdges) {
+    if (alive[e.from] && alive[e.to]) {
+      edges.push_back(e);
+    }
+  }
+  CycleRatioResult result;
+  if (edges.empty()) {
+    result.status = CycleRatioResult::Status::Acyclic;
+    return result;
+  }
+
+  // Zero-delay cycle <=> deadlock. Detect first: restrict to zero-delay
+  // edges and check for a cycle among them.
+  {
+    std::vector<Edge> zeroEdges;
+    for (const Edge& e : edges) {
+      if (e.delay == 0) {
+        zeroEdges.push_back(e);
+      }
+    }
+    const std::vector<bool> zeroCycle = nodesOnCycles(n, zeroEdges);
+    if (std::any_of(zeroCycle.begin(), zeroCycle.end(), [](bool b) { return b; })) {
+      result.status = CycleRatioResult::Status::Deadlock;
+      return result;
+    }
+  }
+
+  // Howard's policy iteration, maximizing the ratio sum(w)/sum(d).
+  // policy[v] = index into `edges` of the chosen out-edge of v.
+  std::vector<std::vector<std::size_t>> outEdges(n);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    outEdges[edges[i].from].push_back(i);
+  }
+
+  constexpr std::size_t kNoEdge = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> policy(n, kNoEdge);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!outEdges[v].empty()) {
+      policy[v] = outEdges[v].front();
+    }
+  }
+
+  std::vector<Rational> ratio(n, Rational(0));  // ratio of the cycle v reaches
+  std::vector<Rational> value(n, Rational(0));  // relative potentials
+  std::vector<bool> hasRatio(n, false);
+
+  const std::size_t maxIterations = edges.size() * n + 16;
+  for (std::size_t iteration = 0; iteration < maxIterations; ++iteration) {
+    // --- Policy evaluation -------------------------------------------
+    std::fill(hasRatio.begin(), hasRatio.end(), false);
+    // Find the cycle each node reaches in the functional policy graph.
+    std::vector<int> mark(n, -1);  // visit epoch
+    for (std::size_t start = 0; start < n; ++start) {
+      if (policy[start] == kNoEdge || hasRatio[start]) {
+        continue;
+      }
+      // Walk until we hit something marked in this walk (new cycle) or
+      // an already-evaluated node.
+      std::vector<std::size_t> path;
+      std::size_t v = start;
+      while (policy[v] != kNoEdge && mark[v] == -1 && !hasRatio[v]) {
+        mark[v] = static_cast<int>(start);
+        path.push_back(v);
+        v = edges[policy[v]].to;
+      }
+      Rational r(0);
+      std::size_t cycleEntry = v;
+      if (policy[v] != kNoEdge && mark[v] == static_cast<int>(start) && !hasRatio[v]) {
+        // New cycle found; compute its ratio.
+        std::int64_t w = 0;
+        std::int64_t d = 0;
+        std::size_t u = v;
+        do {
+          const Edge& e = edges[policy[u]];
+          w += e.weight;
+          d += e.delay;
+          u = e.to;
+        } while (u != v);
+        if (d == 0) {
+          result.status = CycleRatioResult::Status::Deadlock;
+          return result;
+        }
+        r = Rational(w, d);
+        // Anchor the cycle: value(v) = 0, propagate around the cycle.
+        value[v] = Rational(0);
+        ratio[v] = r;
+        hasRatio[v] = true;
+        // Walk the cycle backwards by walking forward and solving
+        // value(u) = w(u) - r*d(u) + value(next).
+        // Collect the cycle nodes in order first.
+        std::vector<std::size_t> cycle;
+        u = v;
+        do {
+          cycle.push_back(u);
+          u = edges[policy[u]].to;
+        } while (u != v);
+        for (std::size_t i = cycle.size(); i-- > 1;) {
+          const std::size_t node = cycle[i];
+          const Edge& e = edges[policy[node]];
+          const std::size_t next = e.to;
+          value[node] = Rational(e.weight) - r * Rational(e.delay) + value[next];
+          ratio[node] = r;
+          hasRatio[node] = true;
+        }
+        cycleEntry = v;
+      } else if (hasRatio[v]) {
+        cycleEntry = v;
+      } else {
+        // Walk ended at a node without out-edge inside the cyclic core —
+        // cannot happen because every core node lies on a cycle.
+        continue;
+      }
+      // Propagate values back along the path (suffix first).
+      for (std::size_t i = path.size(); i-- > 0;) {
+        const std::size_t node = path[i];
+        if (hasRatio[node]) {
+          continue;  // part of the freshly evaluated cycle
+        }
+        const Edge& e = edges[policy[node]];
+        value[node] = Rational(e.weight) - ratio[e.to] * Rational(e.delay) + value[e.to];
+        ratio[node] = ratio[e.to];
+        hasRatio[node] = true;
+      }
+      (void)cycleEntry;
+    }
+
+    // --- Policy improvement ------------------------------------------
+    bool improved = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (policy[v] == kNoEdge) {
+        continue;
+      }
+      for (const std::size_t ei : outEdges[v]) {
+        const Edge& e = edges[ei];
+        if (!hasRatio[e.to]) {
+          continue;
+        }
+        if (ratio[e.to] > ratio[v]) {
+          policy[v] = ei;
+          improved = true;
+        } else if (ratio[e.to] == ratio[v]) {
+          const Rational candidate =
+              Rational(e.weight) - ratio[v] * Rational(e.delay) + value[e.to];
+          if (candidate > value[v]) {
+            policy[v] = ei;
+            improved = true;
+          }
+        }
+      }
+    }
+    if (!improved) {
+      Rational best(0);
+      bool any = false;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (hasRatio[v] && (!any || ratio[v] > best)) {
+          best = ratio[v];
+          any = true;
+        }
+      }
+      if (!any) {
+        result.status = CycleRatioResult::Status::Acyclic;
+        return result;
+      }
+      result.status = CycleRatioResult::Status::Ok;
+      result.ratio = best;
+      return result;
+    }
+  }
+  throw AnalysisError("maxCycleRatioHoward: policy iteration failed to converge");
+}
+
+CycleRatioResult maxCycleRatioBruteForce(const sdf::TimedGraph& hsdf) {
+  requireHsdf(hsdf);
+  const std::size_t n = hsdf.graph.actorCount();
+  const std::vector<Edge> edges = buildEdges(hsdf);
+  std::vector<std::vector<std::size_t>> outEdges(n);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    outEdges[edges[i].from].push_back(i);
+  }
+
+  CycleRatioResult result;
+  bool foundCycle = false;
+  bool deadlock = false;
+  Rational best(0);
+
+  // DFS enumeration of simple cycles rooted at each start node; only
+  // nodes >= start participate, so each cycle is found exactly once
+  // (rooted at its minimum node).
+  std::vector<bool> onPath(n, false);
+  std::vector<std::size_t> pathEdges;
+
+  const std::function<void(std::size_t, std::size_t)> dfs = [&](std::size_t start, std::size_t v) {
+    for (const std::size_t ei : outEdges[v]) {
+      const Edge& e = edges[ei];
+      if (e.to < start || deadlock) {
+        continue;
+      }
+      if (e.to == start) {
+        std::int64_t w = e.weight;
+        std::int64_t d = e.delay;
+        for (const std::size_t pe : pathEdges) {
+          w += edges[pe].weight;
+          d += edges[pe].delay;
+        }
+        if (d == 0) {
+          deadlock = true;
+          return;
+        }
+        const Rational r(w, d);
+        if (!foundCycle || r > best) {
+          best = r;
+          foundCycle = true;
+        }
+        continue;
+      }
+      if (onPath[e.to]) {
+        continue;
+      }
+      onPath[e.to] = true;
+      pathEdges.push_back(ei);
+      dfs(start, e.to);
+      pathEdges.pop_back();
+      onPath[e.to] = false;
+    }
+  };
+
+  for (std::size_t start = 0; start < n && !deadlock; ++start) {
+    onPath[start] = true;
+    dfs(start, start);
+    onPath[start] = false;
+  }
+
+  if (deadlock) {
+    result.status = CycleRatioResult::Status::Deadlock;
+  } else if (foundCycle) {
+    result.status = CycleRatioResult::Status::Ok;
+    result.ratio = best;
+  } else {
+    result.status = CycleRatioResult::Status::Acyclic;
+  }
+  return result;
+}
+
+std::optional<Rational> throughputViaMcr(const sdf::TimedGraph& timed) {
+  const sdf::HsdfExpansion expansion = sdf::toHsdf(timed);
+  const CycleRatioResult mcr = maxCycleRatioHoward(expansion.hsdf);
+  switch (mcr.status) {
+    case CycleRatioResult::Status::Ok:
+      return mcr.ratio.reciprocal();
+    case CycleRatioResult::Status::Deadlock:
+      return std::nullopt;
+    case CycleRatioResult::Status::Acyclic:
+      // No cycle constrains the period: unbounded throughput. The HSDF
+      // conversion always adds sequence self-edges, so this only occurs
+      // for empty graphs.
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mamps::analysis

@@ -1,0 +1,50 @@
+// Maximum cycle ratio / maximum cycle mean analysis.
+//
+// For an HSDF graph (all rates 1) executing self-timed, the steady-state
+// iteration period equals the maximum cycle ratio
+//     MCR = max over cycles C of ( sum of execution times / sum of tokens )
+// and the graph throughput is 1/MCR iterations per cycle. A cycle with
+// zero tokens can never fire: the graph is deadlocked.
+//
+// Two implementations are provided: Howard's policy iteration with exact
+// rational arithmetic (fast, used by the flow) and a brute-force simple
+// cycle enumeration (exponential, used as a cross-check in tests).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sdf/graph.hpp"
+#include "support/rational.hpp"
+
+namespace mamps::analysis {
+
+struct CycleRatioResult {
+  enum class Status {
+    Ok,        ///< maximum cycle ratio computed
+    Deadlock,  ///< a cycle without tokens exists
+    Acyclic,   ///< no cycle exists (ratio undefined; throughput unbounded)
+  };
+
+  Status status = Status::Acyclic;
+  Rational ratio = Rational(0);  ///< cycles per iteration (valid for Ok)
+
+  [[nodiscard]] bool ok() const { return status == Status::Ok; }
+};
+
+/// Maximum cycle ratio of a timed HSDF graph via Howard's policy
+/// iteration. Edge weight = execution time of the channel's source
+/// actor; edge delay = initial tokens. Throws AnalysisError when the
+/// graph has a channel with rates != 1.
+[[nodiscard]] CycleRatioResult maxCycleRatioHoward(const sdf::TimedGraph& hsdf);
+
+/// Same quantity by enumerating all simple cycles (exponential; only for
+/// small test graphs).
+[[nodiscard]] CycleRatioResult maxCycleRatioBruteForce(const sdf::TimedGraph& hsdf);
+
+/// Throughput of an SDF graph via conversion to HSDF and MCR analysis.
+/// Returns iterations per cycle; nullopt when deadlocked.
+[[nodiscard]] std::optional<Rational> throughputViaMcr(const sdf::TimedGraph& timed);
+
+}  // namespace mamps::analysis

@@ -1,0 +1,331 @@
+#include "analysis/throughput.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "sdf/repetition_vector.hpp"
+
+namespace mamps::analysis {
+namespace {
+
+using sdf::ActorId;
+using sdf::Channel;
+using sdf::ChannelId;
+using sdf::Graph;
+
+/// Execution state at a quiescent point: channel fillings, per-actor
+/// sorted remaining firing times, and per-resource schedule positions.
+struct State {
+  std::vector<std::uint64_t> tokens;                    // per channel
+  std::vector<std::vector<std::uint64_t>> remaining;    // per actor, sorted
+  std::vector<std::uint32_t> schedulePos;               // per resource
+
+  bool operator==(const State&) const = default;
+};
+
+struct StateHash {
+  std::size_t operator()(const State& s) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    for (const std::uint64_t t : s.tokens) {
+      mix(t);
+    }
+    for (const auto& r : s.remaining) {
+      mix(r.size() + 0x1234567ULL);
+      for (const std::uint64_t v : r) {
+        mix(v);
+      }
+    }
+    for (const std::uint32_t p : s.schedulePos) {
+      mix(p + 0x77777777ULL);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class Simulator {
+ public:
+  Simulator(const sdf::TimedGraph& timed, const ThroughputOptions& options,
+            const ResourceConstraints* resources)
+      : graph_(timed.graph),
+        execTime_(timed.execTime),
+        concurrency_(timed.maxConcurrent),
+        options_(options),
+        resources_(resources) {
+    state_.tokens.resize(graph_.channelCount());
+    for (ChannelId c = 0; c < graph_.channelCount(); ++c) {
+      state_.tokens[c] = graph_.channel(c).initialTokens;
+    }
+    state_.remaining.resize(graph_.actorCount());
+    if (resources_ != nullptr) {
+      state_.schedulePos.resize(resources_->staticOrder.size(), 0);
+      resourceBusy_.resize(resources_->staticOrder.size(), 0);
+    }
+  }
+
+  ThroughputResult run() {
+    ThroughputResult result;
+    const auto qOpt = sdf::computeRepetitionVector(graph_);
+    if (!qOpt) {
+      result.status = ThroughputResult::Status::Inconsistent;
+      return result;
+    }
+    if (graph_.actorCount() == 0) {
+      result.status = ThroughputResult::Status::Deadlock;
+      return result;
+    }
+    const std::uint64_t qRef = (*qOpt)[kReferenceActor];
+
+    // Divergence guard: self-timed execution of a graph that is not
+    // strongly bounded (e.g. a fast producer feeding an unbounded
+    // channel) accumulates tokens forever and never revisits a state.
+    // Token counts above this threshold cannot occur in a recurrent
+    // execution of a strongly-bounded graph of this size.
+    std::uint64_t initialTotal = 0;
+    for (const Channel& c : graph_.channels()) {
+      initialTotal += c.initialTokens;
+    }
+    std::uint64_t perIteration = 0;
+    for (const Channel& c : graph_.channels()) {
+      perIteration += (*qOpt)[c.src] * c.prodRate;
+    }
+    const std::uint64_t divergenceThreshold = initialTotal + 64 * perIteration + 4096;
+
+    std::unordered_map<State, std::pair<std::uint64_t, std::uint64_t>, StateHash> seen;
+    for (std::uint64_t step = 0; step < options_.maxSteps; ++step) {
+      // Quiescent point: start everything startable, complete all
+      // zero-time work (which may enable more starts).
+      if (!settleInstant()) {
+        result.status = ThroughputResult::Status::Unbounded;
+        return result;
+      }
+
+      std::uint64_t totalTokens = 0;
+      for (const std::uint64_t t : state_.tokens) {
+        totalTokens += t;
+      }
+      if (totalTokens > divergenceThreshold) {
+        result.status = ThroughputResult::Status::Diverged;
+        result.statesExplored = seen.size();
+        return result;
+      }
+
+      const bool anyOngoing =
+          std::any_of(state_.remaining.begin(), state_.remaining.end(),
+                      [](const auto& r) { return !r.empty(); });
+      if (!anyOngoing) {
+        result.status = ThroughputResult::Status::Deadlock;
+        result.statesExplored = seen.size();
+        return result;
+      }
+
+      const auto [it, inserted] = seen.try_emplace(state_, now_, refCompletions_);
+      if (!inserted) {
+        const auto [prevTime, prevCompletions] = it->second;
+        const std::uint64_t period = now_ - prevTime;
+        const std::uint64_t completions = refCompletions_ - prevCompletions;
+        result.statesExplored = seen.size();
+        result.periodCycles = period;
+        if (period == 0) {
+          // Cannot happen: time strictly advances between quiescent
+          // snapshots once zero-time work is settled.
+          result.status = ThroughputResult::Status::Unbounded;
+          return result;
+        }
+        result.status = ThroughputResult::Status::Ok;
+        result.iterationsPerCycle =
+            Rational(static_cast<std::int64_t>(completions),
+                     static_cast<std::int64_t>(qRef * period));
+        return result;
+      }
+
+      advanceTime();
+    }
+    result.status = ThroughputResult::Status::StepLimit;
+    result.statesExplored = seen.size();
+    return result;
+  }
+
+ private:
+  static constexpr ActorId kReferenceActor = 0;
+
+  [[nodiscard]] std::uint32_t resourceOf(ActorId a) const {
+    if (resources_ == nullptr || a >= resources_->actorResource.size()) {
+      return ResourceConstraints::kUnbound;
+    }
+    return resources_->actorResource[a];
+  }
+
+  [[nodiscard]] bool isReady(ActorId a) const {
+    if (!options_.autoConcurrency) {
+      const std::uint32_t limit = concurrency_.empty() ? 1 : concurrency_[a];
+      if (limit != 0 && state_.remaining[a].size() >= limit) {
+        return false;
+      }
+    }
+    const std::uint32_t res = resourceOf(a);
+    if (res != ResourceConstraints::kUnbound) {
+      // The processing element must be idle and it must be this actor's
+      // turn in the static order.
+      if (resourceBusy_[res] != 0) {
+        return false;
+      }
+      const auto& order = resources_->staticOrder[res];
+      if (order[state_.schedulePos[res]] != a) {
+        return false;
+      }
+    }
+    for (const ChannelId c : graph_.actor(a).inputs) {
+      if (state_.tokens[c] < graph_.channel(c).consRate) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void startFiring(ActorId a) {
+    for (const ChannelId c : graph_.actor(a).inputs) {
+      state_.tokens[c] -= graph_.channel(c).consRate;
+    }
+    auto& r = state_.remaining[a];
+    r.insert(std::upper_bound(r.begin(), r.end(), execTime_[a]), execTime_[a]);
+    const std::uint32_t res = resourceOf(a);
+    if (res != ResourceConstraints::kUnbound) {
+      ++resourceBusy_[res];
+      state_.schedulePos[res] =
+          (state_.schedulePos[res] + 1) % resources_->staticOrder[res].size();
+    }
+  }
+
+  void completeFiring(ActorId a, std::size_t slot) {
+    state_.remaining[a].erase(state_.remaining[a].begin() + static_cast<std::ptrdiff_t>(slot));
+    for (const ChannelId c : graph_.actor(a).outputs) {
+      state_.tokens[c] += graph_.channel(c).prodRate;
+    }
+    const std::uint32_t res = resourceOf(a);
+    if (res != ResourceConstraints::kUnbound) {
+      --resourceBusy_[res];
+    }
+    if (a == kReferenceActor) {
+      ++refCompletions_;
+    }
+  }
+
+  /// Start all enabled firings and retire all zero-time firings until
+  /// the instant is stable. Returns false when a zero-delay livelock is
+  /// detected (unbounded throughput).
+  bool settleInstant() {
+    // Each retired zero-time firing and each start makes progress; a
+    // bound of firingsPerInstantCap breaks zero-delay cycles.
+    const std::uint64_t cap =
+        4096 + 64 * (graph_.actorCount() + 1) * (graph_.channelCount() + 1);
+    std::uint64_t work = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (ActorId a = 0; a < graph_.actorCount(); ++a) {
+        while (isReady(a)) {
+          startFiring(a);
+          changed = true;
+          if (++work > cap) {
+            return false;
+          }
+          if (!options_.autoConcurrency) {
+            break;
+          }
+        }
+      }
+      for (ActorId a = 0; a < graph_.actorCount(); ++a) {
+        auto& r = state_.remaining[a];
+        while (!r.empty() && r.front() == 0) {
+          completeFiring(a, 0);
+          changed = true;
+          if (++work > cap) {
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  void advanceTime() {
+    std::uint64_t delta = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& r : state_.remaining) {
+      if (!r.empty()) {
+        delta = std::min(delta, r.front());
+      }
+    }
+    now_ += delta;
+    for (auto& r : state_.remaining) {
+      for (auto& v : r) {
+        v -= delta;
+      }
+    }
+    // Zero-time completions are retired by the next settleInstant().
+  }
+
+  const Graph& graph_;
+  const std::vector<std::uint64_t>& execTime_;
+  const std::vector<std::uint32_t>& concurrency_;
+  ThroughputOptions options_;
+  const ResourceConstraints* resources_;
+  std::vector<std::uint32_t> resourceBusy_;  // ongoing firings per resource
+  State state_;
+  std::uint64_t now_ = 0;
+  std::uint64_t refCompletions_ = 0;
+};
+
+}  // namespace
+
+void ResourceConstraints::validateFor(const sdf::Graph& g) const {
+  if (actorResource.size() != g.actorCount()) {
+    throw AnalysisError("ResourceConstraints: actorResource size mismatch");
+  }
+  std::vector<std::uint64_t> appearances(g.actorCount(), 0);
+  for (const auto& order : staticOrder) {
+    for (const sdf::ActorId a : order) {
+      if (a >= g.actorCount()) {
+        throw AnalysisError("ResourceConstraints: schedule references unknown actor");
+      }
+      ++appearances[a];
+    }
+  }
+  for (sdf::ActorId a = 0; a < g.actorCount(); ++a) {
+    const std::uint32_t res = actorResource[a];
+    if (res == kUnbound) {
+      continue;
+    }
+    if (res >= staticOrder.size()) {
+      throw AnalysisError("ResourceConstraints: resource id out of range");
+    }
+    if (appearances[a] == 0) {
+      throw AnalysisError("ResourceConstraints: bound actor " + g.actor(a).name +
+                          " missing from its static order");
+    }
+  }
+}
+
+ThroughputResult computeThroughput(const sdf::TimedGraph& timed, const ThroughputOptions& options) {
+  if (timed.execTime.size() != timed.graph.actorCount()) {
+    throw AnalysisError("computeThroughput: execTime size does not match actor count");
+  }
+  Simulator sim(timed, options, nullptr);
+  return sim.run();
+}
+
+ThroughputResult computeThroughput(const sdf::TimedGraph& timed,
+                                   const ResourceConstraints& resources,
+                                   const ThroughputOptions& options) {
+  if (timed.execTime.size() != timed.graph.actorCount()) {
+    throw AnalysisError("computeThroughput: execTime size does not match actor count");
+  }
+  resources.validateFor(timed.graph);
+  Simulator sim(timed, options, &resources);
+  return sim.run();
+}
+
+}  // namespace mamps::analysis

@@ -1,0 +1,86 @@
+// Self-timed state-space throughput analysis (Ghamarian et al. [3]).
+//
+// Executes the operational semantics of a timed SDF graph: every actor
+// fires as soon as it is enabled (tokens are consumed at firing start
+// and produced at firing end). Because the state space of a consistent,
+// strongly-bounded graph is finite, the execution eventually revisits a
+// state; the periodic phase between two visits determines the long-term
+// average throughput exactly.
+//
+// The flow defines throughput as graph iterations per clock cycle; the
+// platform's system clock is the base time unit (Section 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sdf/graph.hpp"
+#include "support/rational.hpp"
+
+namespace mamps::analysis {
+
+/// Processor sharing: actors bound to the same resource execute
+/// mutually exclusively and in a fixed cyclic static order, exactly like
+/// the lookup-table scheduler of the generated MAMPS software
+/// (Section 6.3: "scheduling ... is done through a static order schedule
+/// which reduces the scheduler to a lookup table").
+struct ResourceConstraints {
+  static constexpr std::uint32_t kUnbound = 0xffffffff;
+
+  /// actor id -> resource id (kUnbound = the actor has its own resource,
+  /// e.g. hardware stages of the communication model).
+  std::vector<std::uint32_t> actorResource;
+  /// Per resource: the cyclic firing order. Actors with repetition count
+  /// > 1 appear multiple times. Every bound actor must appear.
+  std::vector<std::vector<sdf::ActorId>> staticOrder;
+
+  /// Shape checks against a graph; throws AnalysisError on violations.
+  void validateFor(const sdf::Graph& g) const;
+};
+
+struct ThroughputOptions {
+  /// Allow an actor to fire concurrently with itself. The MAMPS platform
+  /// always serializes firings of an actor on its processing element, so
+  /// the flow analyses with auto-concurrency disabled.
+  bool autoConcurrency = false;
+  /// Safety cap on simulated quiescent steps before giving up.
+  std::uint64_t maxSteps = 10'000'000;
+};
+
+struct ThroughputResult {
+  enum class Status {
+    Ok,            ///< throughput computed
+    Deadlock,      ///< execution halts; throughput is zero
+    Inconsistent,  ///< no repetition vector exists
+    Unbounded,     ///< a zero-execution-time cycle fires infinitely fast
+    Diverged,      ///< tokens accumulate without bound (graph is not
+                   ///< strongly bounded; analyze with buffer capacities
+                   ///< or use throughputViaMcr)
+    StepLimit,     ///< maxSteps exceeded before a recurrent state
+  };
+
+  Status status = Status::StepLimit;
+  /// Long-term average graph iterations per clock cycle (valid for Ok;
+  /// zero for Deadlock).
+  Rational iterationsPerCycle = Rational(0);
+  /// Number of quiescent states stored until recurrence.
+  std::uint64_t statesExplored = 0;
+  /// Length of the periodic phase in clock cycles.
+  std::uint64_t periodCycles = 0;
+
+  [[nodiscard]] bool ok() const { return status == Status::Ok; }
+};
+
+/// Compute the self-timed throughput of `timed`. `timed.execTime` must
+/// have one entry per actor.
+[[nodiscard]] ThroughputResult computeThroughput(const sdf::TimedGraph& timed,
+                                                 const ThroughputOptions& options = {});
+
+/// Resource-constrained variant: actors bound to a resource additionally
+/// wait for the resource to be idle and for their turn in its static
+/// order. This is the analysis the flow runs on binding-aware graphs.
+[[nodiscard]] ThroughputResult computeThroughput(const sdf::TimedGraph& timed,
+                                                 const ResourceConstraints& resources,
+                                                 const ThroughputOptions& options = {});
+
+}  // namespace mamps::analysis

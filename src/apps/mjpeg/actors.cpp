@@ -1,0 +1,509 @@
+#include "apps/mjpeg/actors.hpp"
+
+#include <algorithm>
+
+#include "apps/mjpeg/bitio.hpp"
+#include "apps/mjpeg/cost_model.hpp"
+#include "apps/mjpeg/tables.hpp"
+
+namespace mamps::mjpeg {
+namespace {
+
+constexpr std::uint8_t kFrameMarker = 0xa5;
+
+// ---------------------------------------------------------------- VLD core
+
+/// Streaming state of the variable-length decoder over a (looped)
+/// sequence of encoded frames.
+class VldCore {
+ public:
+  explicit VldCore(std::vector<std::uint8_t> stream) : stream_(std::move(stream)) {
+    if (stream_.empty()) {
+      throw Error("VldCore: empty stream");
+    }
+    loadFrame();
+  }
+
+  struct McuResult {
+    std::array<std::pair<std::uint8_t, Block>, kBlockRate> blocks;  // kind + zz coefficients
+    FrameHeader header;
+    std::uint16_t mcuIndex = 0;
+    std::uint64_t bitsConsumed = 0;
+    std::uint32_t codedBlocks = 0;
+  };
+
+  /// Decode the next MCU; loops back to the first frame at stream end.
+  McuResult decodeMcu() {
+    McuResult out;
+    out.header = header_;
+    out.mcuIndex = static_cast<std::uint16_t>(mcuIndex_);
+    const std::size_t bitsBefore = reader_->bitPosition();
+    const std::uint32_t coded = blocksPerMcu(header_.sampling);
+    const std::uint32_t luma = lumaBlocksPerMcu(header_.sampling);
+    for (std::uint32_t b = 0; b < kBlockRate; ++b) {
+      if (b < coded) {
+        const std::uint8_t kind =
+            b < luma ? kKindLuma : (b == luma ? kKindCb : kKindCr);
+        out.blocks[b].first = kind;
+        decodeBlock(kind, out.blocks[b].second);
+      } else {
+        out.blocks[b].first = kKindDummy;
+        out.blocks[b].second.fill(0);
+      }
+    }
+    out.bitsConsumed = reader_->bitPosition() - bitsBefore;
+    out.codedBlocks = coded;
+
+    if (++mcuIndex_ >= header_.mcusPerFrame()) {
+      frameOffset_ = payloadEnd_;
+      if (frameOffset_ >= stream_.size()) {
+        frameOffset_ = 0;  // loop the sequence
+      }
+      loadFrame();
+    }
+    return out;
+  }
+
+  [[nodiscard]] const FrameHeader& header() const { return header_; }
+
+ private:
+  void loadFrame() {
+    if (frameOffset_ + 11 > stream_.size() || stream_[frameOffset_] != kFrameMarker) {
+      throw Error("VldCore: malformed frame header");
+    }
+    const std::uint8_t* p = stream_.data() + frameOffset_;
+    header_.width = loadU16(p + 1);
+    header_.height = loadU16(p + 3);
+    header_.sampling = static_cast<Sampling>(p[5]);
+    header_.quality = p[6];
+    const std::size_t payloadSize = static_cast<std::size_t>(p[7]) |
+                                    (static_cast<std::size_t>(p[8]) << 8) |
+                                    (static_cast<std::size_t>(p[9]) << 16) |
+                                    (static_cast<std::size_t>(p[10]) << 24);
+    const std::size_t payloadStart = frameOffset_ + 11;
+    if (payloadStart + payloadSize > stream_.size()) {
+      throw Error("VldCore: truncated frame payload");
+    }
+    reader_.emplace(stream_.data() + payloadStart, payloadSize);
+    payloadEnd_ = payloadStart + payloadSize;
+    mcuIndex_ = 0;
+    dcY_ = dcCb_ = dcCr_ = 0;
+  }
+
+  void decodeBlock(std::uint8_t kind, Block& zz) {
+    const bool isLuma = kind == kKindLuma;
+    const HuffmanTable& dc = isLuma ? lumaDcTable() : chromaDcTable();
+    const HuffmanTable& ac = isLuma ? lumaAcTable() : chromaAcTable();
+    int& predictor = isLuma ? dcY_ : (kind == kKindCb ? dcCb_ : dcCr_);
+
+    zz.fill(0);
+    const std::uint8_t dcCat = dc.decode(*reader_);
+    const int diff = extendMagnitude(reader_->getBits(dcCat), dcCat);
+    predictor += diff;
+    zz[0] = static_cast<std::int16_t>(predictor);
+
+    int k = 1;
+    while (k < 64) {
+      const std::uint8_t rs = ac.decode(*reader_);
+      if (rs == 0x00) {
+        break;  // EOB
+      }
+      if (rs == 0xf0) {
+        k += 16;  // ZRL
+        continue;
+      }
+      k += rs >> 4;
+      const std::uint8_t cat = rs & 0x0f;
+      if (k >= 64) {
+        throw Error("VldCore: AC index overflow");
+      }
+      zz[static_cast<std::size_t>(k)] =
+          static_cast<std::int16_t>(extendMagnitude(reader_->getBits(cat), cat));
+      ++k;
+    }
+  }
+
+  std::vector<std::uint8_t> stream_;
+  std::size_t frameOffset_ = 0;
+  std::size_t payloadEnd_ = 0;
+  std::optional<BitReader> reader_;
+  FrameHeader header_;
+  std::uint32_t mcuIndex_ = 0;
+  int dcY_ = 0;
+  int dcCb_ = 0;
+  int dcCr_ = 0;
+};
+
+// ------------------------------------------------------- block operations
+
+void dequantizeBlock(std::uint8_t kind, std::uint8_t quality, const Block& zz, Block& raster) {
+  const auto table =
+      scaledQuantTable(kind == kKindLuma ? kLumaQuant : kChromaQuant, quality);
+  raster.fill(0);
+  for (std::size_t k = 0; k < 64; ++k) {
+    const std::size_t idx = kZigzagOrder[k];
+    const std::int32_t value = zz[k] * table[idx];
+    raster[idx] = static_cast<std::int16_t>(std::clamp(value, -30000, 30000));
+  }
+}
+
+/// Compose one MCU of RGB pixels from its spatial blocks.
+void composeMcu(const FrameHeader& header,
+                const std::vector<std::pair<std::uint8_t, Block>>& blocks,
+                std::uint8_t* rgbOut) {
+  const std::uint32_t mw = mcuWidth(header.sampling);
+  const std::uint32_t mh = mcuHeight(header.sampling);
+  const std::uint32_t luma = lumaBlocksPerMcu(header.sampling);
+  const std::uint32_t lumaCols = mw / 8;
+  const std::uint32_t subX = mw / 8;
+  const std::uint32_t subY = mh / 8;
+
+  for (std::uint32_t y = 0; y < mh; ++y) {
+    for (std::uint32_t x = 0; x < mw; ++x) {
+      const std::uint32_t lb = (y / 8) * lumaCols + (x / 8);
+      if (lb >= luma) {
+        throw Error("composeMcu: luma block index out of range");
+      }
+      const std::int16_t lumaValue = blocks[lb].second[(y % 8) * 8 + (x % 8)];
+      const std::int16_t cb = blocks[luma].second[(y / subY) * 8 + (x / subX)];
+      const std::int16_t cr = blocks[luma + 1].second[(y / subY) * 8 + (x / subX)];
+      std::uint8_t r = 0;
+      std::uint8_t g = 0;
+      std::uint8_t b = 0;
+      ycbcrToRgb(lumaValue, cb, cr, r, g, b);
+      std::uint8_t* px = rgbOut + (y * mw + x) * 3;
+      px[0] = r;
+      px[1] = g;
+      px[2] = b;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- behaviors
+
+class VldBehavior final : public sim::ActorBehavior {
+ public:
+  explicit VldBehavior(std::vector<std::uint8_t> stream) : core_(std::move(stream)) {}
+
+  std::uint64_t fire(sim::FiringData& data) override {
+    const VldCore::McuResult mcu = core_.decodeMcu();
+    // outputs[0] = vld2iqzz (10 block tokens), [1] = subHeader1, [2] = subHeader2.
+    for (std::uint32_t b = 0; b < kBlockRate; ++b) {
+      packBlockToken(data.outputs[0][b].data(), mcu.blocks[b].first, mcu.header.quality,
+                     mcu.blocks[b].second);
+    }
+    packHeaderToken(data.outputs[1][0].data(), mcu.header, mcu.mcuIndex);
+    packHeaderToken(data.outputs[2][0].data(), mcu.header, mcu.mcuIndex);
+    return vldCost(mcu.bitsConsumed, mcu.codedBlocks);
+  }
+
+ private:
+  VldCore core_;
+};
+
+class IqzzBehavior final : public sim::ActorBehavior {
+ public:
+  std::uint64_t fire(sim::FiringData& data) override {
+    std::uint8_t kind = 0;
+    std::uint8_t quality = 0;
+    Block zz{};
+    unpackBlockToken(data.inputs[0][0].data(), kind, quality, zz);
+    if (kind == kKindDummy) {
+      packBlockToken(data.outputs[0][0].data(), kind, quality, zz);
+      return iqzzCost(true);
+    }
+    Block raster{};
+    dequantizeBlock(kind, quality, zz, raster);
+    packBlockToken(data.outputs[0][0].data(), kind, quality, raster);
+    return iqzzCost(false);
+  }
+};
+
+class IdctBehavior final : public sim::ActorBehavior {
+ public:
+  std::uint64_t fire(sim::FiringData& data) override {
+    std::uint8_t kind = 0;
+    std::uint8_t quality = 0;
+    Block freq{};
+    unpackBlockToken(data.inputs[0][0].data(), kind, quality, freq);
+    if (kind == kKindDummy) {
+      packBlockToken(data.outputs[0][0].data(), kind, quality, freq);
+      return idctCost(true, 0);
+    }
+    const std::uint32_t nz = nonZeroCount(freq);
+    std::array<std::int16_t, 64> spatial{};
+    inverseDct(freq, spatial);
+    Block samples{};
+    std::copy(spatial.begin(), spatial.end(), samples.begin());
+    packBlockToken(data.outputs[0][0].data(), kind, quality, samples);
+    return idctCost(false, nz);
+  }
+};
+
+class CcBehavior final : public sim::ActorBehavior {
+ public:
+  std::uint64_t fire(sim::FiringData& data) override {
+    // inputs[0] = 10 spatial block tokens, inputs[1] = subHeader1.
+    FrameHeader header;
+    std::uint16_t mcuIndex = 0;
+    unpackHeaderToken(data.inputs[1][0].data(), header, mcuIndex);
+
+    std::vector<std::pair<std::uint8_t, Block>> blocks(kBlockRate);
+    for (std::uint32_t b = 0; b < kBlockRate; ++b) {
+      std::uint8_t quality = 0;
+      unpackBlockToken(data.inputs[0][b].data(), blocks[b].first, quality, blocks[b].second);
+    }
+    composeMcu(header, blocks, data.outputs[0][0].data());
+    return ccCost(mcuWidth(header.sampling) * mcuHeight(header.sampling));
+  }
+};
+
+}  // namespace
+
+std::uint64_t RasterBehavior::fire(sim::FiringData& data) {
+  // inputs[0] = MCU pixels, inputs[1] = subHeader2.
+  FrameHeader header;
+  std::uint16_t mcuIndex = 0;
+  unpackHeaderToken(data.inputs[1][0].data(), header, mcuIndex);
+  const std::uint32_t mw = mcuWidth(header.sampling);
+  const std::uint32_t mh = mcuHeight(header.sampling);
+
+  if (mcuIndex == 0) {
+    current_ = Frame(header.mcusPerRow() * mw, header.mcusPerCol() * mh);
+  }
+  const std::uint32_t mcuX = mcuIndex % header.mcusPerRow();
+  const std::uint32_t mcuY = mcuIndex / header.mcusPerRow();
+  const std::uint8_t* src = data.inputs[0][0].data();
+  for (std::uint32_t y = 0; y < mh; ++y) {
+    const std::uint32_t py = mcuY * mh + y;
+    std::uint8_t* dst = &current_.rgb[(py * current_.width + mcuX * mw) * 3];
+    std::copy_n(src + y * mw * 3, mw * 3, dst);
+  }
+  if (mcuIndex + 1 == header.mcusPerFrame()) {
+    if (frames_.size() >= maxFrames_) {
+      frames_.erase(frames_.begin());
+    }
+    frames_.push_back(current_);
+  }
+  return rasterCost(mw * mh);
+}
+
+MjpegApp buildMjpegApp(const MjpegWcets& wcets) {
+  MjpegApp app;
+  sdf::Graph g("mjpeg");
+  app.vld = g.addActor("VLD");
+  app.iqzz = g.addActor("IQZZ");
+  app.idct = g.addActor("IDCT");
+  app.cc = g.addActor("CC");
+  app.raster = g.addActor("Raster");
+
+  const auto connect = [&g](sdf::ActorId src, std::uint32_t prod, sdf::ActorId dst,
+                            std::uint32_t cons, std::uint64_t tokens, std::uint32_t size,
+                            const char* name) {
+    sdf::ChannelSpec spec;
+    spec.src = src;
+    spec.prodRate = prod;
+    spec.dst = dst;
+    spec.consRate = cons;
+    spec.initialTokens = tokens;
+    spec.tokenSizeBytes = size;
+    spec.name = name;
+    return g.connect(spec);
+  };
+  app.vld2iqzz = connect(app.vld, kBlockRate, app.iqzz, 1, 0, kBlockTokenSize, "vld2iqzz");
+  app.iqzz2idct = connect(app.iqzz, 1, app.idct, 1, 0, kBlockTokenSize, "iqzz2idct");
+  app.idct2cc = connect(app.idct, 1, app.cc, kBlockRate, 0, kBlockTokenSize, "idct2cc");
+  app.cc2raster = connect(app.cc, 1, app.raster, 1, 0, kMcuTokenSize, "cc2raster");
+  app.subHeader1 = connect(app.vld, 1, app.cc, 1, 0, kHeaderTokenSize, "subHeader1");
+  app.subHeader2 = connect(app.vld, 1, app.raster, 1, 0, kHeaderTokenSize, "subHeader2");
+  app.vldState = connect(app.vld, 1, app.vld, 1, 1, 4, "vldState");
+  app.rasterState = connect(app.raster, 1, app.raster, 1, 1, 4, "rasterState");
+
+  app.model = sdf::ApplicationModel(std::move(g));
+
+  const auto addImpl = [&app](sdf::ActorId actor, const char* fn, std::uint64_t wcet,
+                              std::uint32_t instr, std::uint32_t dataMem,
+                              std::vector<sdf::ChannelId> args) {
+    sdf::ActorImplementation impl;
+    impl.functionName = fn;
+    impl.initFunctionName = std::string(fn) + "_init";
+    impl.processorType = "microblaze";
+    impl.wcetCycles = wcet;
+    impl.instrMemBytes = instr;
+    impl.dataMemBytes = dataMem;
+    impl.argumentChannels = std::move(args);
+    app.model.addImplementation(actor, impl);
+  };
+  addImpl(app.vld, "actor_vld", wcets.vld, 12 * 1024, 6 * 1024,
+          {app.vld2iqzz, app.subHeader1, app.subHeader2});
+  addImpl(app.iqzz, "actor_iqzz", wcets.iqzz, 3 * 1024, 1 * 1024,
+          {app.vld2iqzz, app.iqzz2idct});
+  addImpl(app.idct, "actor_idct", wcets.idct, 5 * 1024, 2 * 1024,
+          {app.iqzz2idct, app.idct2cc});
+  addImpl(app.cc, "actor_cc", wcets.cc, 4 * 1024, 2 * 1024,
+          {app.idct2cc, app.subHeader1, app.cc2raster});
+  addImpl(app.raster, "actor_raster", wcets.raster, 3 * 1024, 8 * 1024,
+          {app.cc2raster, app.subHeader2});
+  return app;
+}
+
+MjpegBehaviors attachMjpegBehaviors(sim::PlatformSim& simulator, const MjpegApp& app,
+                                    std::vector<std::uint8_t> stream) {
+  MjpegBehaviors handles;
+  simulator.setBehavior(app.vld, std::make_unique<VldBehavior>(std::move(stream)));
+  simulator.setBehavior(app.iqzz, std::make_unique<IqzzBehavior>());
+  simulator.setBehavior(app.idct, std::make_unique<IdctBehavior>());
+  simulator.setBehavior(app.cc, std::make_unique<CcBehavior>());
+  auto raster = std::make_unique<RasterBehavior>();
+  handles.raster = raster.get();
+  simulator.setBehavior(app.raster, std::move(raster));
+  return handles;
+}
+
+namespace {
+
+/// Run the decode pipeline sequentially over one pass of the stream,
+/// calling `visit(actorCostVector)` per MCU. Returns decoded frames.
+struct SequentialCosts {
+  std::uint64_t vld = 0;
+  std::uint64_t iqzz = 0;
+  std::uint64_t idct = 0;
+  std::uint64_t cc = 0;
+  std::uint64_t raster = 0;
+};
+
+std::vector<Frame> decodeSequentially(const std::vector<std::uint8_t>& stream,
+                                      std::size_t maxFrames, MjpegWcets* maxCosts,
+                                      MjpegWcets* avgCosts = nullptr) {
+  VldBehavior vld{stream};
+  IqzzBehavior iqzz;
+  IdctBehavior idct;
+  CcBehavior cc;
+  RasterBehavior raster;
+  raster.setMaxFrames(maxFrames == 0 ? 1024 : maxFrames);
+
+  // Total MCUs in one pass of the stream: walk the frame headers.
+  std::size_t totalMcus = 0;
+  std::size_t totalFrames = 0;
+  for (std::size_t offset = 0; offset + 11 <= stream.size();) {
+    if (stream[offset] != kFrameMarker) {
+      throw Error("decodeSequentially: bad frame marker");
+    }
+    FrameHeader header;
+    header.width = loadU16(stream.data() + offset + 1);
+    header.height = loadU16(stream.data() + offset + 3);
+    header.sampling = static_cast<Sampling>(stream[offset + 5]);
+    header.quality = stream[offset + 6];
+    const std::size_t payload = static_cast<std::size_t>(stream[offset + 7]) |
+                                (static_cast<std::size_t>(stream[offset + 8]) << 8) |
+                                (static_cast<std::size_t>(stream[offset + 9]) << 16) |
+                                (static_cast<std::size_t>(stream[offset + 10]) << 24);
+    totalMcus += header.mcusPerFrame();
+    ++totalFrames;
+    offset += 11 + payload;
+    if (maxFrames != 0 && totalFrames >= maxFrames) {
+      break;
+    }
+  }
+
+  for (std::size_t m = 0; m < totalMcus; ++m) {
+    sim::FiringData vldData;
+    vldData.outputs.assign(3, {});
+    vldData.outputs[0].assign(kBlockRate, sim::Token(kBlockTokenSize, 0));
+    vldData.outputs[1].assign(1, sim::Token(kHeaderTokenSize, 0));
+    vldData.outputs[2].assign(1, sim::Token(kHeaderTokenSize, 0));
+    const std::uint64_t vldCycles = vld.fire(vldData);
+
+    std::vector<sim::Token> spatialBlocks;
+    std::uint64_t iqzzMax = 0;
+    std::uint64_t idctMax = 0;
+    std::uint64_t iqzzTotal = 0;
+    std::uint64_t idctTotal = 0;
+    for (std::uint32_t b = 0; b < kBlockRate; ++b) {
+      sim::FiringData iqzzData;
+      iqzzData.inputs.assign(1, {vldData.outputs[0][b]});
+      iqzzData.outputs.assign(1, std::vector<sim::Token>(1, sim::Token(kBlockTokenSize, 0)));
+      const std::uint64_t iqzzCycles = iqzz.fire(iqzzData);
+      iqzzMax = std::max(iqzzMax, iqzzCycles);
+      iqzzTotal += iqzzCycles;
+
+      sim::FiringData idctData;
+      idctData.inputs.assign(1, {iqzzData.outputs[0][0]});
+      idctData.outputs.assign(1, std::vector<sim::Token>(1, sim::Token(kBlockTokenSize, 0)));
+      const std::uint64_t idctCycles = idct.fire(idctData);
+      idctMax = std::max(idctMax, idctCycles);
+      idctTotal += idctCycles;
+      spatialBlocks.push_back(idctData.outputs[0][0]);
+    }
+
+    sim::FiringData ccData;
+    ccData.inputs.assign(2, {});
+    ccData.inputs[0] = std::move(spatialBlocks);
+    ccData.inputs[1] = {vldData.outputs[1][0]};
+    ccData.outputs.assign(1, std::vector<sim::Token>(1, sim::Token(kMcuTokenSize, 0)));
+    const std::uint64_t ccCycles = cc.fire(ccData);
+
+    sim::FiringData rasterData;
+    rasterData.inputs.assign(2, {});
+    rasterData.inputs[0] = {ccData.outputs[0][0]};
+    rasterData.inputs[1] = {vldData.outputs[2][0]};
+    const std::uint64_t rasterCycles = raster.fire(rasterData);
+
+    if (maxCosts != nullptr) {
+      maxCosts->vld = std::max(maxCosts->vld, vldCycles);
+      maxCosts->iqzz = std::max(maxCosts->iqzz, iqzzMax);
+      maxCosts->idct = std::max(maxCosts->idct, idctMax);
+      maxCosts->cc = std::max(maxCosts->cc, ccCycles);
+      maxCosts->raster = std::max(maxCosts->raster, rasterCycles);
+    }
+    if (avgCosts != nullptr) {
+      avgCosts->vld += vldCycles;
+      avgCosts->iqzz += iqzzTotal;
+      avgCosts->idct += idctTotal;
+      avgCosts->cc += ccCycles;
+      avgCosts->raster += rasterCycles;
+    }
+  }
+  if (avgCosts != nullptr && totalMcus > 0) {
+    avgCosts->vld /= totalMcus;
+    avgCosts->iqzz /= totalMcus * kBlockRate;
+    avgCosts->idct /= totalMcus * kBlockRate;
+    avgCosts->cc /= totalMcus;
+    avgCosts->raster /= totalMcus;
+  }
+  return std::vector<Frame>(raster.frames());
+}
+
+}  // namespace
+
+std::vector<Frame> referenceDecode(const std::vector<std::uint8_t>& stream,
+                                   std::size_t maxFrames) {
+  return decodeSequentially(stream, maxFrames, nullptr);
+}
+
+MjpegWcets measureCosts(const std::vector<std::uint8_t>& stream) {
+  MjpegWcets costs;
+  decodeSequentially(stream, 0, &costs);
+  return costs;
+}
+
+MjpegWcets measureAverageCosts(const std::vector<std::uint8_t>& stream) {
+  MjpegWcets avg;
+  decodeSequentially(stream, 0, nullptr, &avg);
+  return avg;
+}
+
+MjpegWcets calibrateWcets(const std::vector<std::uint8_t>& stream, std::uint32_t marginPercent) {
+  MjpegWcets wcets = measureCosts(stream);
+  const auto addMargin = [marginPercent](std::uint64_t v) {
+    return v + (v * marginPercent + 99) / 100;
+  };
+  wcets.vld = addMargin(wcets.vld);
+  wcets.iqzz = addMargin(wcets.iqzz);
+  wcets.idct = addMargin(wcets.idct);
+  wcets.cc = addMargin(wcets.cc);
+  wcets.raster = addMargin(wcets.raster);
+  return wcets;
+}
+
+}  // namespace mamps::mjpeg

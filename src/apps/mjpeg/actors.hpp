@@ -1,0 +1,99 @@
+// The MJPEG decoder as an SDF application (Figure 5).
+//
+//   VLD --10--> IQZZ --1--> IDCT --10--> CC --1--> Raster
+//    |                                   ^          ^
+//    |---- subHeader1 -------------------'          |
+//    |---- subHeader2 ------------------------------'
+//   (vldState and rasterState are implicit self-edges with one token)
+//
+// One graph iteration decodes one MCU, so throughput is in MCUs per
+// clock cycle (Section 6). The VLD's production rate is fixed at 10
+// blocks (the JPEG worst case); samplings that need fewer blocks pad
+// with dummy block tokens — the modeling overhead of Section 6.3.
+#pragma once
+
+#include <memory>
+
+#include "apps/mjpeg/codec_types.hpp"
+#include "apps/mjpeg/encoder.hpp"
+#include "sdf/app_model.hpp"
+#include "sim/platform_sim.hpp"
+
+namespace mamps::mjpeg {
+
+/// Worst-case execution times per actor (cycles per firing).
+struct MjpegWcets {
+  std::uint64_t vld = 0;
+  std::uint64_t iqzz = 0;
+  std::uint64_t idct = 0;
+  std::uint64_t cc = 0;
+  std::uint64_t raster = 0;
+};
+
+/// The application model plus handles to its actors and channels.
+struct MjpegApp {
+  sdf::ApplicationModel model;
+  sdf::ActorId vld = 0;
+  sdf::ActorId iqzz = 0;
+  sdf::ActorId idct = 0;
+  sdf::ActorId cc = 0;
+  sdf::ActorId raster = 0;
+  sdf::ChannelId vld2iqzz = 0;
+  sdf::ChannelId iqzz2idct = 0;
+  sdf::ChannelId idct2cc = 0;
+  sdf::ChannelId cc2raster = 0;
+  sdf::ChannelId subHeader1 = 0;
+  sdf::ChannelId subHeader2 = 0;
+  sdf::ChannelId vldState = 0;
+  sdf::ChannelId rasterState = 0;
+};
+
+/// Build the Figure 5 application model with the given WCET metrics.
+[[nodiscard]] MjpegApp buildMjpegApp(const MjpegWcets& wcets);
+
+/// Raster behavior handle: exposes completed frames for verification.
+class RasterBehavior;
+
+/// Handles to the attached behaviors (owned by the PlatformSim).
+struct MjpegBehaviors {
+  RasterBehavior* raster = nullptr;  ///< completed-frame access
+};
+
+/// Attach functional behaviors decoding `stream` (looped endlessly) to a
+/// platform simulation of `app`.
+MjpegBehaviors attachMjpegBehaviors(sim::PlatformSim& simulator, const MjpegApp& app,
+                                    std::vector<std::uint8_t> stream);
+
+/// Measurement-based WCET estimation (Section 6: "a method based on [4]
+/// combined with execution time measurement"): decode every MCU of the
+/// calibration stream once, track the per-actor maxima, and add the
+/// given safety margin (percent).
+[[nodiscard]] MjpegWcets calibrateWcets(const std::vector<std::uint8_t>& stream,
+                                        std::uint32_t marginPercent = 10);
+
+/// Per-actor maximum observed firing cost over one pass of `stream`
+/// (no margin) — the "execution time measurement" inputs for the
+/// expected-throughput analysis of Figure 6.
+[[nodiscard]] MjpegWcets measureCosts(const std::vector<std::uint8_t>& stream);
+
+/// Per-actor *average* observed firing cost over one pass of `stream`;
+/// the expected-throughput analysis of Section 6.1 uses these (the
+/// long-term average throughput depends on mean, not peak, firing
+/// times).
+[[nodiscard]] MjpegWcets measureAverageCosts(const std::vector<std::uint8_t>& stream);
+
+class RasterBehavior final : public sim::ActorBehavior {
+ public:
+  std::uint64_t fire(sim::FiringData& data) override;
+
+  /// Frames completed so far (bounded history; oldest dropped).
+  [[nodiscard]] const std::vector<Frame>& frames() const { return frames_; }
+  void setMaxFrames(std::size_t n) { maxFrames_ = n; }
+
+ private:
+  Frame current_;
+  std::vector<Frame> frames_;
+  std::size_t maxFrames_ = 16;
+};
+
+}  // namespace mamps::mjpeg

@@ -1,0 +1,78 @@
+// Bit-level I/O for the MJPEG entropy coder (MSB-first, JPEG style).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mamps::mjpeg {
+
+class BitWriter {
+ public:
+  void putBit(bool bit) {
+    current_ = static_cast<std::uint8_t>((current_ << 1) | (bit ? 1 : 0));
+    if (++fill_ == 8) {
+      bytes_.push_back(current_);
+      current_ = 0;
+      fill_ = 0;
+    }
+  }
+
+  /// Write the low `count` bits of `value`, most significant first.
+  void putBits(std::uint32_t value, std::uint32_t count) {
+    for (std::uint32_t i = count; i-- > 0;) {
+      putBit(((value >> i) & 1u) != 0);
+    }
+  }
+
+  /// Pad with 1-bits to a byte boundary (JPEG convention) and return
+  /// the buffer.
+  [[nodiscard]] std::vector<std::uint8_t> finish() {
+    while (fill_ != 0) {
+      putBit(true);
+    }
+    return std::move(bytes_);
+  }
+
+  [[nodiscard]] std::size_t bitCount() const { return bytes_.size() * 8 + fill_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint8_t current_ = 0;
+  std::uint32_t fill_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] bool getBit() {
+    if (pos_ >= size_ * 8) {
+      throw Error("BitReader: read past end of stream");
+    }
+    const bool bit = ((data_[pos_ / 8] >> (7 - pos_ % 8)) & 1u) != 0;
+    ++pos_;
+    return bit;
+  }
+
+  [[nodiscard]] std::uint32_t getBits(std::uint32_t count) {
+    std::uint32_t value = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      value = (value << 1) | (getBit() ? 1u : 0u);
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::size_t bitPosition() const { return pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ >= size_ * 8; }
+  /// Skip to the next byte boundary.
+  void alignToByte() { pos_ = (pos_ + 7) / 8 * 8; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mamps::mjpeg

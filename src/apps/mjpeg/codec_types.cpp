@@ -1,0 +1,67 @@
+#include "apps/mjpeg/codec_types.hpp"
+
+#include <algorithm>
+
+namespace mamps::mjpeg {
+
+void packBlockToken(std::uint8_t* token, std::uint8_t kind, std::uint8_t quality,
+                    const Block& block) {
+  token[0] = kind;
+  token[1] = quality;
+  token[2] = 0;
+  token[3] = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    storeU16(token + 4 + i * 2, static_cast<std::uint16_t>(block[i]));
+  }
+}
+
+void unpackBlockToken(const std::uint8_t* token, std::uint8_t& kind, std::uint8_t& quality,
+                      Block& block) {
+  kind = token[0];
+  quality = token[1];
+  for (std::size_t i = 0; i < 64; ++i) {
+    block[i] = static_cast<std::int16_t>(loadU16(token + 4 + i * 2));
+  }
+}
+
+void packHeaderToken(std::uint8_t* token, const FrameHeader& header, std::uint16_t mcuIndex) {
+  storeU16(token, header.width);
+  storeU16(token + 2, header.height);
+  token[4] = static_cast<std::uint8_t>(header.sampling);
+  token[5] = header.quality;
+  storeU16(token + 6, mcuIndex);
+}
+
+void unpackHeaderToken(const std::uint8_t* token, FrameHeader& header, std::uint16_t& mcuIndex) {
+  header.width = loadU16(token);
+  header.height = loadU16(token + 2);
+  header.sampling = static_cast<Sampling>(token[4]);
+  header.quality = token[5];
+  mcuIndex = loadU16(token + 6);
+}
+
+void rgbToYcbcr(std::uint8_t r, std::uint8_t g, std::uint8_t b, std::int16_t& y,
+                std::int16_t& cb, std::int16_t& cr) {
+  // BT.601 full range, 16-bit fixed point.
+  const std::int32_t ri = r;
+  const std::int32_t gi = g;
+  const std::int32_t bi = b;
+  y = static_cast<std::int16_t>(((19595 * ri + 38470 * gi + 7471 * bi) >> 16) - 128);
+  cb = static_cast<std::int16_t>((-11059 * ri - 21709 * gi + 32768 * bi) >> 16);
+  cr = static_cast<std::int16_t>((32768 * ri - 27439 * gi - 5329 * bi) >> 16);
+}
+
+void ycbcrToRgb(std::int16_t y, std::int16_t cb, std::int16_t cr, std::uint8_t& r,
+                std::uint8_t& g, std::uint8_t& b) {
+  const std::int32_t yi = y + 128;
+  const std::int32_t cbi = cb;
+  const std::int32_t cri = cr;
+  const std::int32_t ri = yi + ((91881 * cri) >> 16);
+  const std::int32_t gi = yi - ((22554 * cbi + 46802 * cri) >> 16);
+  const std::int32_t bi = yi + ((116130 * cbi) >> 16);
+  r = static_cast<std::uint8_t>(std::clamp(ri, 0, 255));
+  g = static_cast<std::uint8_t>(std::clamp(gi, 0, 255));
+  b = static_cast<std::uint8_t>(std::clamp(bi, 0, 255));
+}
+
+}  // namespace mamps::mjpeg

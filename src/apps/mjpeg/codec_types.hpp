@@ -1,0 +1,125 @@
+// Shared types and token layouts of the MJPEG decoder application
+// (Figure 5). One graph iteration decodes one MCU; all token sizes are
+// fixed at their worst case, which is exactly the "modeling overhead"
+// the paper discusses in Section 6.3 (the VLD always ships 10 block
+// tokens, padding with dummy blocks when the sampling needs fewer).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "apps/mjpeg/dct.hpp"
+#include "support/error.hpp"
+
+namespace mamps::mjpeg {
+
+/// Chroma subsampling of a frame. Blocks per MCU: 3 / 4 / 6; the SDF
+/// rate is always 10 (the JPEG limit), padded with dummy blocks.
+enum class Sampling : std::uint8_t {
+  Yuv444 = 0,  ///< 1 Y + Cb + Cr, MCU 8x8
+  Yuv422 = 1,  ///< 2 Y + Cb + Cr, MCU 16x8
+  Yuv420 = 2,  ///< 4 Y + Cb + Cr, MCU 16x16
+  Yuv410 = 3,  ///< 8 Y + Cb + Cr, MCU 32x16 (the JPEG 10-block limit)
+};
+
+[[nodiscard]] constexpr std::uint32_t blocksPerMcu(Sampling s) {
+  switch (s) {
+    case Sampling::Yuv444: return 3;
+    case Sampling::Yuv422: return 4;
+    case Sampling::Yuv420: return 6;
+    case Sampling::Yuv410: return 10;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr std::uint32_t lumaBlocksPerMcu(Sampling s) {
+  return blocksPerMcu(s) - 2;
+}
+
+[[nodiscard]] constexpr std::uint32_t mcuWidth(Sampling s) {
+  if (s == Sampling::Yuv410) {
+    return 32;
+  }
+  return s == Sampling::Yuv444 ? 8 : 16;
+}
+
+[[nodiscard]] constexpr std::uint32_t mcuHeight(Sampling s) {
+  return (s == Sampling::Yuv420 || s == Sampling::Yuv410) ? 16 : 8;
+}
+
+/// The fixed SDF production rate of the VLD (10 blocks per MCU).
+inline constexpr std::uint32_t kBlockRate = 10;
+
+/// Block kinds carried in the first byte of a block token.
+inline constexpr std::uint8_t kKindLuma = 0;
+inline constexpr std::uint8_t kKindCb = 1;
+inline constexpr std::uint8_t kKindCr = 2;
+inline constexpr std::uint8_t kKindDummy = 0xff;
+
+/// Token sizes (bytes).
+inline constexpr std::uint32_t kBlockTokenSize = 4 + 64 * 2;  ///< kind, quality, pad, coef[64]
+inline constexpr std::uint32_t kHeaderTokenSize = 8;          ///< width, height, sampling, quality
+inline constexpr std::uint32_t kMcuTokenSize = 32 * 16 * 3;   ///< worst-case MCU RGB
+
+/// An RGB frame (8-bit per channel, row-major).
+struct Frame {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::vector<std::uint8_t> rgb;  ///< width * height * 3
+
+  Frame() = default;
+  Frame(std::uint32_t w, std::uint32_t h) : width(w), height(h), rgb(w * h * 3, 0) {}
+};
+
+/// Per-frame stream header.
+struct FrameHeader {
+  std::uint16_t width = 0;
+  std::uint16_t height = 0;
+  Sampling sampling = Sampling::Yuv420;
+  std::uint8_t quality = 50;
+
+  [[nodiscard]] std::uint32_t mcusPerRow() const {
+    return (width + mcuWidth(sampling) - 1) / mcuWidth(sampling);
+  }
+  [[nodiscard]] std::uint32_t mcusPerCol() const {
+    return (height + mcuHeight(sampling) - 1) / mcuHeight(sampling);
+  }
+  [[nodiscard]] std::uint32_t mcusPerFrame() const { return mcusPerRow() * mcusPerCol(); }
+};
+
+// --- Token (de)serialization helpers -----------------------------------
+
+inline void storeU16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v & 0xff);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+inline std::uint16_t loadU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+/// Pack a coefficient/sample block into a block token.
+void packBlockToken(std::uint8_t* token, std::uint8_t kind, std::uint8_t quality,
+                    const Block& block);
+
+/// Unpack a block token.
+void unpackBlockToken(const std::uint8_t* token, std::uint8_t& kind, std::uint8_t& quality,
+                      Block& block);
+
+/// Pack/unpack the sub-header tokens (frame geometry forwarded from the
+/// file header to CC and Raster, Section 6).
+void packHeaderToken(std::uint8_t* token, const FrameHeader& header, std::uint16_t mcuIndex);
+void unpackHeaderToken(const std::uint8_t* token, FrameHeader& header, std::uint16_t& mcuIndex);
+
+// --- Color conversion ----------------------------------------------------
+
+/// BT.601 integer RGB -> YCbCr (full range, level-shifted Y in [-128,127]).
+void rgbToYcbcr(std::uint8_t r, std::uint8_t g, std::uint8_t b, std::int16_t& y,
+                std::int16_t& cb, std::int16_t& cr);
+
+/// BT.601 integer YCbCr -> RGB (inputs level-shifted as produced above).
+void ycbcrToRgb(std::int16_t y, std::int16_t cb, std::int16_t cr, std::uint8_t& r,
+                std::uint8_t& g, std::uint8_t& b);
+
+}  // namespace mamps::mjpeg

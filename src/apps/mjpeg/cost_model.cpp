@@ -1,0 +1,38 @@
+#include "apps/mjpeg/cost_model.hpp"
+
+namespace mamps::mjpeg {
+
+// Microblaze-flavoured constants: no FPU, single-issue, slow shifts.
+// The bottleneck tile (IQZZ + IDCT) ends up near 600k-900k cycles per
+// 4:2:0 MCU, i.e. roughly one MCU per MHz per second as in Figure 6.
+
+std::uint64_t vldCost(std::uint64_t bits, std::uint32_t codedBlocks) {
+  // Header bookkeeping + per-block setup + ~40 cycles per decoded bit
+  // (bit extraction, canonical code walk, magnitude extension).
+  return 8000 + 5000ULL * codedBlocks + 40 * bits;
+}
+
+std::uint64_t iqzzCost(bool dummy) {
+  // 64 multiply + reorder iterations; dummies are recognized from the
+  // token header and passed through.
+  return dummy ? 600 : 2000 + 90ULL * 64;
+}
+
+std::uint64_t idctCost(bool dummy, std::uint32_t nonZero) {
+  // Row/column decomposition with zero-coefficient early exit: a large
+  // fixed pass (the column transform touches every sample) plus work
+  // proportional to the populated coefficients.
+  return dummy ? 800 : 58000 + 750ULL * nonZero;
+}
+
+std::uint64_t ccCost(std::uint32_t pixels) {
+  // Upsampling + 3x3 integer matrix per pixel.
+  return 8000 + 300ULL * pixels;
+}
+
+std::uint64_t rasterCost(std::uint32_t pixels) {
+  // Scatter copy into the frame buffer.
+  return 2500 + 60ULL * pixels;
+}
+
+}  // namespace mamps::mjpeg

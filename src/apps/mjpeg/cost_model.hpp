@@ -1,0 +1,34 @@
+// Execution-time cost models of the MJPEG actors.
+//
+// Each function returns the cycle count of one firing on a Microblaze
+// tile as a deterministic function of the work performed; the constants
+// are calibrated to land the platform in the throughput range Figure 6
+// reports (around one MCU per million cycles end to end). WCETs are
+// obtained the way the paper does it — "a method based on [4] combined
+// with execution time measurement" (Section 6) — by profiling a
+// worst-case (synthetic random) calibration stream and adding a safety
+// margin (see calibrateWcets in actors.hpp).
+#pragma once
+
+#include <cstdint>
+
+namespace mamps::mjpeg {
+
+/// VLD: per-MCU header/bitstream parsing plus per-block decode effort.
+/// `bits` = entropy-coded bits consumed, `codedBlocks` = non-dummy blocks.
+[[nodiscard]] std::uint64_t vldCost(std::uint64_t bits, std::uint32_t codedBlocks);
+
+/// IQZZ: inverse quantization + zig-zag reorder of one block token.
+[[nodiscard]] std::uint64_t iqzzCost(bool dummy);
+
+/// IDCT: row/column IDCT with zero-row skipping: cost grows with the
+/// number of non-zero input coefficients.
+[[nodiscard]] std::uint64_t idctCost(bool dummy, std::uint32_t nonZero);
+
+/// CC: chroma upsampling + YCbCr->RGB for one MCU of `pixels` pixels.
+[[nodiscard]] std::uint64_t ccCost(std::uint32_t pixels);
+
+/// Raster: placing one MCU of `pixels` pixels into the frame buffer.
+[[nodiscard]] std::uint64_t rasterCost(std::uint32_t pixels);
+
+}  // namespace mamps::mjpeg

@@ -1,0 +1,120 @@
+#include "apps/mjpeg/dct.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mamps::mjpeg {
+namespace {
+
+// cos((2x+1) u pi / 16) * sqrt(2/8) * (u==0 ? 1/sqrt(2) : 1), scaled by
+// 2^13. Shared by both transform directions.
+struct CosTable {
+  std::array<std::array<std::int32_t, 8>, 8> c{};  // [u][x]
+
+  CosTable() {
+    for (int u = 0; u < 8; ++u) {
+      const double cu = (u == 0) ? 1.0 / std::sqrt(2.0) : 1.0;
+      for (int x = 0; x < 8; ++x) {
+        const double value =
+            0.5 * cu * std::cos((2.0 * x + 1.0) * u * 3.14159265358979323846 / 16.0);
+        c[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)] =
+            static_cast<std::int32_t>(std::lround(value * 8192.0));
+      }
+    }
+  }
+};
+
+const CosTable& cosTable() {
+  static const CosTable table;
+  return table;
+}
+
+}  // namespace
+
+void forwardDct(const std::array<std::int16_t, 64>& spatial, Block& freq) {
+  const auto& c = cosTable().c;
+  // Rows then columns, keeping 13-bit precision between passes.
+  std::array<std::int32_t, 64> tmp{};
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      std::int64_t acc = 0;
+      for (int x = 0; x < 8; ++x) {
+        acc += static_cast<std::int64_t>(spatial[static_cast<std::size_t>(y * 8 + x)]) *
+               c[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)];
+      }
+      tmp[static_cast<std::size_t>(y * 8 + u)] =
+          static_cast<std::int32_t>((acc + (1 << 9)) >> 10);
+    }
+  }
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      std::int64_t acc = 0;
+      for (int y = 0; y < 8; ++y) {
+        acc += static_cast<std::int64_t>(tmp[static_cast<std::size_t>(y * 8 + u)]) *
+               c[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)];
+      }
+      // Undo the two 13-bit scalings: >>10 above leaves 3 extra bits;
+      // total shift 13 + 3 = 16.
+      const std::int64_t value = (acc + (1 << 15)) >> 16;
+      freq[static_cast<std::size_t>(v * 8 + u)] =
+          static_cast<std::int16_t>(std::clamp<std::int64_t>(value, -2048, 2047));
+    }
+  }
+}
+
+void inverseDct(const Block& freq, std::array<std::int16_t, 64>& spatial) {
+  const auto& c = cosTable().c;
+  std::array<std::int32_t, 64> tmp{};
+  // Columns first: for each column u, samples(y) = sum_v C(v,y) F(v,u).
+  for (int u = 0; u < 8; ++u) {
+    for (int y = 0; y < 8; ++y) {
+      std::int64_t acc = 0;
+      for (int v = 0; v < 8; ++v) {
+        acc += static_cast<std::int64_t>(freq[static_cast<std::size_t>(v * 8 + u)]) *
+               c[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)];
+      }
+      tmp[static_cast<std::size_t>(y * 8 + u)] =
+          static_cast<std::int32_t>((acc + (1 << 9)) >> 10);
+    }
+  }
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      std::int64_t acc = 0;
+      for (int u = 0; u < 8; ++u) {
+        acc += static_cast<std::int64_t>(tmp[static_cast<std::size_t>(y * 8 + u)]) *
+               c[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)];
+      }
+      const std::int64_t value = (acc + (1 << 15)) >> 16;
+      spatial[static_cast<std::size_t>(y * 8 + x)] =
+          static_cast<std::int16_t>(std::clamp<std::int64_t>(value, -256, 255));
+    }
+  }
+}
+
+std::uint32_t nonZeroCount(const Block& freq) {
+  std::uint32_t count = 0;
+  for (const std::int16_t v : freq) {
+    count += (v != 0) ? 1 : 0;
+  }
+  return count;
+}
+
+void inverseDctReference(const Block& freq, std::array<double, 64>& spatial) {
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      double acc = 0;
+      for (int v = 0; v < 8; ++v) {
+        for (int u = 0; u < 8; ++u) {
+          const double cu = (u == 0) ? 1.0 / std::sqrt(2.0) : 1.0;
+          const double cv = (v == 0) ? 1.0 / std::sqrt(2.0) : 1.0;
+          acc += 0.25 * cu * cv * freq[static_cast<std::size_t>(v * 8 + u)] *
+                 std::cos((2 * x + 1) * u * 3.14159265358979323846 / 16.0) *
+                 std::cos((2 * y + 1) * v * 3.14159265358979323846 / 16.0);
+        }
+      }
+      spatial[static_cast<std::size_t>(y * 8 + x)] = acc;
+    }
+  }
+}
+
+}  // namespace mamps::mjpeg

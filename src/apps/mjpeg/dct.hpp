@@ -1,0 +1,29 @@
+// Fixed-point 8x8 forward and inverse DCT.
+//
+// The IDCT is the kind of integer implementation that runs on a
+// Microblaze without an FPU: 13-bit fixed-point cosine constants and a
+// row/column decomposition. Accuracy is tested against a double
+// reference in the unit tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mamps::mjpeg {
+
+using Block = std::array<std::int16_t, 64>;  ///< raster order
+
+/// Forward DCT of level-shifted samples (input range [-128, 127]).
+void forwardDct(const std::array<std::int16_t, 64>& spatial, Block& freq);
+
+/// Inverse DCT; output is clamped level-shifted samples in [-256, 255].
+void inverseDct(const Block& freq, std::array<std::int16_t, 64>& spatial);
+
+/// Number of non-zero coefficients (drives the IDCT cost model: rows of
+/// zeros are skipped by the implementation).
+[[nodiscard]] std::uint32_t nonZeroCount(const Block& freq);
+
+/// Double-precision reference IDCT for accuracy tests.
+void inverseDctReference(const Block& freq, std::array<double, 64>& spatial);
+
+}  // namespace mamps::mjpeg

@@ -1,0 +1,188 @@
+#include "apps/mjpeg/encoder.hpp"
+
+#include <algorithm>
+
+#include "apps/mjpeg/bitio.hpp"
+#include "apps/mjpeg/tables.hpp"
+
+namespace mamps::mjpeg {
+
+namespace {
+
+constexpr std::uint8_t kFrameMarker = 0xa5;
+
+/// Sample the (possibly subsampled) chroma plane of one MCU.
+void extractChromaBlock(const Frame& frame, const FrameHeader& header, std::uint32_t mcuX,
+                        std::uint32_t mcuY, bool isCb, std::array<std::int16_t, 64>& block) {
+  const std::uint32_t mw = mcuWidth(header.sampling);
+  const std::uint32_t mh = mcuHeight(header.sampling);
+  const std::uint32_t subX = mw / 8;  // horizontal subsampling factor
+  const std::uint32_t subY = mh / 8;  // vertical subsampling factor
+  for (std::uint32_t by = 0; by < 8; ++by) {
+    for (std::uint32_t bx = 0; bx < 8; ++bx) {
+      // Average the subX x subY pixel group.
+      std::int32_t acc = 0;
+      std::uint32_t count = 0;
+      for (std::uint32_t dy = 0; dy < subY; ++dy) {
+        for (std::uint32_t dx = 0; dx < subX; ++dx) {
+          const std::uint32_t px =
+              std::min(mcuX * mw + bx * subX + dx, frame.width - 1);
+          const std::uint32_t py =
+              std::min(mcuY * mh + by * subY + dy, frame.height - 1);
+          const std::uint8_t* rgb = &frame.rgb[(py * frame.width + px) * 3];
+          std::int16_t y = 0;
+          std::int16_t cb = 0;
+          std::int16_t cr = 0;
+          rgbToYcbcr(rgb[0], rgb[1], rgb[2], y, cb, cr);
+          acc += isCb ? cb : cr;
+          ++count;
+        }
+      }
+      block[by * 8 + bx] = static_cast<std::int16_t>(acc / static_cast<std::int32_t>(count));
+    }
+  }
+}
+
+void writeHeader(std::vector<std::uint8_t>& out, const FrameHeader& header) {
+  out.push_back(kFrameMarker);
+  out.push_back(static_cast<std::uint8_t>(header.width & 0xff));
+  out.push_back(static_cast<std::uint8_t>(header.width >> 8));
+  out.push_back(static_cast<std::uint8_t>(header.height & 0xff));
+  out.push_back(static_cast<std::uint8_t>(header.height >> 8));
+  out.push_back(static_cast<std::uint8_t>(header.sampling));
+  out.push_back(header.quality);
+}
+
+/// Huffman-encode one quantized, zig-zagged block.
+void encodeBlock(BitWriter& writer, const std::array<std::int16_t, 64>& zz, bool isLuma,
+                 int& dcPredictor) {
+  const HuffmanTable& dc = isLuma ? lumaDcTable() : chromaDcTable();
+  const HuffmanTable& ac = isLuma ? lumaAcTable() : chromaAcTable();
+
+  const int diff = zz[0] - dcPredictor;
+  dcPredictor = zz[0];
+  const std::uint8_t dcCat = magnitudeCategory(diff);
+  const auto dcCode = dc.encode(dcCat);
+  writer.putBits(dcCode.code, dcCode.length);
+  writer.putBits(magnitudeBits(diff, dcCat), dcCat);
+
+  int run = 0;
+  for (int k = 1; k < 64; ++k) {
+    if (zz[static_cast<std::size_t>(k)] == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      const auto zrl = ac.encode(0xf0);
+      writer.putBits(zrl.code, zrl.length);
+      run -= 16;
+    }
+    const int value = zz[static_cast<std::size_t>(k)];
+    const std::uint8_t cat = magnitudeCategory(value);
+    const auto code = ac.encode(static_cast<std::uint8_t>((run << 4) | cat));
+    writer.putBits(code.code, code.length);
+    writer.putBits(magnitudeBits(value, cat), cat);
+    run = 0;
+  }
+  if (run > 0) {
+    const auto eob = ac.encode(0x00);
+    writer.putBits(eob.code, eob.length);
+  }
+}
+
+}  // namespace
+
+void extractMcuBlocks(const Frame& frame, const FrameHeader& header, std::uint32_t mcuX,
+                      std::uint32_t mcuY, std::vector<std::array<std::int16_t, 64>>& blocks) {
+  blocks.clear();
+  const std::uint32_t lumaBlocks = lumaBlocksPerMcu(header.sampling);
+  const std::uint32_t mw = mcuWidth(header.sampling);
+  const std::uint32_t lumaCols = mw / 8;  // luma blocks per MCU row
+
+  for (std::uint32_t lb = 0; lb < lumaBlocks; ++lb) {
+    std::array<std::int16_t, 64> block{};
+    const std::uint32_t originX = mcuX * mw + (lb % lumaCols) * 8;
+    const std::uint32_t originY = mcuY * mcuHeight(header.sampling) + (lb / lumaCols) * 8;
+    for (std::uint32_t by = 0; by < 8; ++by) {
+      for (std::uint32_t bx = 0; bx < 8; ++bx) {
+        const std::uint32_t px = std::min(originX + bx, frame.width - 1);
+        const std::uint32_t py = std::min(originY + by, frame.height - 1);
+        const std::uint8_t* rgb = &frame.rgb[(py * frame.width + px) * 3];
+        std::int16_t y = 0;
+        std::int16_t cb = 0;
+        std::int16_t cr = 0;
+        rgbToYcbcr(rgb[0], rgb[1], rgb[2], y, cb, cr);
+        block[by * 8 + bx] = y;
+      }
+    }
+    blocks.push_back(block);
+  }
+  std::array<std::int16_t, 64> cb{};
+  extractChromaBlock(frame, header, mcuX, mcuY, /*isCb=*/true, cb);
+  blocks.push_back(cb);
+  std::array<std::int16_t, 64> cr{};
+  extractChromaBlock(frame, header, mcuX, mcuY, /*isCb=*/false, cr);
+  blocks.push_back(cr);
+}
+
+std::vector<std::uint8_t> encodeSequence(const std::vector<Frame>& frames,
+                                         const EncoderOptions& options) {
+  if (frames.empty()) {
+    throw Error("encodeSequence: no frames");
+  }
+  std::vector<std::uint8_t> out;
+  const auto lumaTable = scaledQuantTable(kLumaQuant, options.quality);
+  const auto chromaTable = scaledQuantTable(kChromaQuant, options.quality);
+
+  for (const Frame& frame : frames) {
+    if (frame.width == 0 || frame.height == 0 || frame.rgb.size() != frame.width * frame.height * 3) {
+      throw Error("encodeSequence: malformed frame");
+    }
+    FrameHeader header;
+    header.width = static_cast<std::uint16_t>(frame.width);
+    header.height = static_cast<std::uint16_t>(frame.height);
+    header.sampling = options.sampling;
+    header.quality = options.quality;
+    writeHeader(out, header);
+
+    BitWriter writer;
+    int dcY = 0;
+    int dcCb = 0;
+    int dcCr = 0;
+    std::vector<std::array<std::int16_t, 64>> blocks;
+    const std::uint32_t lumaBlocks = lumaBlocksPerMcu(header.sampling);
+    for (std::uint32_t my = 0; my < header.mcusPerCol(); ++my) {
+      for (std::uint32_t mx = 0; mx < header.mcusPerRow(); ++mx) {
+        extractMcuBlocks(frame, header, mx, my, blocks);
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+          const bool isLuma = b < lumaBlocks;
+          const bool isCb = b == lumaBlocks;
+          // FDCT + quantize + zig-zag.
+          Block freq{};
+          forwardDct(blocks[b], freq);
+          const auto& quant = isLuma ? lumaTable : chromaTable;
+          std::array<std::int16_t, 64> zz{};
+          for (std::size_t k = 0; k < 64; ++k) {
+            const std::size_t raster = kZigzagOrder[k];
+            const int q = quant[raster];
+            const int coefficient = freq[raster];
+            zz[k] = static_cast<std::int16_t>(
+                coefficient >= 0 ? (coefficient + q / 2) / q : -((-coefficient + q / 2) / q));
+          }
+          int& predictor = isLuma ? dcY : (isCb ? dcCb : dcCr);
+          encodeBlock(writer, zz, isLuma, predictor);
+        }
+      }
+    }
+    const std::vector<std::uint8_t> payload = writer.finish();
+    // Payload length so the VLD can jump frame to frame.
+    out.push_back(static_cast<std::uint8_t>(payload.size() & 0xff));
+    out.push_back(static_cast<std::uint8_t>((payload.size() >> 8) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((payload.size() >> 16) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((payload.size() >> 24) & 0xff));
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+}  // namespace mamps::mjpeg

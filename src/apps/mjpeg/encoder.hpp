@@ -1,0 +1,39 @@
+// The MJPEG encoder: produces the bitstreams the decoder case study
+// consumes. Baseline-JPEG-style coding (FDCT, quantization, zig-zag,
+// DC prediction, AC run-length + standard Huffman tables) in a minimal
+// frame container.
+//
+// The paper uses five recorded test sequences plus one synthetic random
+// sequence; this encoder generates the equivalent synthetic corpus (see
+// testdata.hpp).
+#pragma once
+
+#include <vector>
+
+#include "apps/mjpeg/codec_types.hpp"
+
+namespace mamps::mjpeg {
+
+struct EncoderOptions {
+  Sampling sampling = Sampling::Yuv420;
+  std::uint8_t quality = 50;  ///< 1..100
+};
+
+/// Encode a sequence of frames into one bitstream. All frames must have
+/// the same dimensions; dimensions are padded up to whole MCUs.
+[[nodiscard]] std::vector<std::uint8_t> encodeSequence(const std::vector<Frame>& frames,
+                                                       const EncoderOptions& options);
+
+/// Decode the stream with the plain (non-dataflow) reference decoder.
+/// This is the golden model the platform-simulated decoder is checked
+/// against. Decodes at most `maxFrames` frames (0 = all).
+[[nodiscard]] std::vector<Frame> referenceDecode(const std::vector<std::uint8_t>& stream,
+                                                 std::size_t maxFrames = 0);
+
+/// Convert a frame's MCU at (mcuX, mcuY) into level-shifted YCbCr blocks
+/// in the block order of the stream (Y blocks, Cb, Cr). Shared between
+/// the encoder and the tests.
+void extractMcuBlocks(const Frame& frame, const FrameHeader& header, std::uint32_t mcuX,
+                      std::uint32_t mcuY, std::vector<std::array<std::int16_t, 64>>& blocks);
+
+}  // namespace mamps::mjpeg

@@ -1,0 +1,80 @@
+// JPEG baseline tables: zig-zag order, quantization matrices, and the
+// standard Huffman tables of ISO/IEC 10918-1 Annex K.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mamps::mjpeg {
+
+/// Zig-zag scan order: zigzagOrder[k] is the raster index of the k-th
+/// coefficient in zig-zag order.
+extern const std::array<std::uint8_t, 64> kZigzagOrder;
+
+/// Annex K luminance/chrominance quantization tables (raster order).
+extern const std::array<std::uint8_t, 64> kLumaQuant;
+extern const std::array<std::uint8_t, 64> kChromaQuant;
+
+/// Scale a base table by JPEG quality (1..100, 50 = unscaled).
+[[nodiscard]] std::array<std::uint16_t, 64> scaledQuantTable(const std::array<std::uint8_t, 64>& base,
+                                                             int quality);
+
+/// A canonical Huffman table built from the JPEG (BITS, HUFFVAL) spec.
+class HuffmanTable {
+ public:
+  /// `bits[i]` = number of codes of length i+1 (i in 0..15); `values` =
+  /// the symbol for each code in order.
+  HuffmanTable(const std::array<std::uint8_t, 16>& bits, std::vector<std::uint8_t> values);
+
+  struct Code {
+    std::uint16_t code = 0;
+    std::uint8_t length = 0;
+  };
+
+  /// Encoding lookup; throws for symbols without a code.
+  [[nodiscard]] Code encode(std::uint8_t symbol) const;
+
+  /// Canonical decoding state for use with a BitReader: feed bits one at
+  /// a time through decodeStep until it returns a symbol.
+  /// Returns the decoded symbol. Template-free helper:
+  template <typename BitSource>
+  [[nodiscard]] std::uint8_t decode(BitSource& reader) const {
+    std::int32_t code = 0;
+    for (int length = 1; length <= 16; ++length) {
+      code = (code << 1) | (reader.getBit() ? 1 : 0);
+      if (maxCode_[length] >= 0 && code <= maxCode_[length]) {
+        const int index = valPtr_[length] + (code - minCode_[length]);
+        return values_[static_cast<std::size_t>(index)];
+      }
+    }
+    throw Error("HuffmanTable: invalid code in stream");
+  }
+
+ private:
+  std::vector<std::uint8_t> values_;
+  std::array<Code, 256> encodeLut_{};
+  std::array<bool, 256> hasCode_{};
+  std::array<std::int32_t, 17> minCode_{};
+  std::array<std::int32_t, 17> maxCode_{};
+  std::array<int, 17> valPtr_{};
+};
+
+/// The four standard tables.
+[[nodiscard]] const HuffmanTable& lumaDcTable();
+[[nodiscard]] const HuffmanTable& lumaAcTable();
+[[nodiscard]] const HuffmanTable& chromaDcTable();
+[[nodiscard]] const HuffmanTable& chromaAcTable();
+
+/// JPEG magnitude category of a value (number of bits needed).
+[[nodiscard]] std::uint8_t magnitudeCategory(int value);
+
+/// The extra bits encoding a value within its category.
+[[nodiscard]] std::uint32_t magnitudeBits(int value, std::uint8_t category);
+
+/// Reconstruct a value from category + extra bits (JPEG EXTEND).
+[[nodiscard]] int extendMagnitude(std::uint32_t bits, std::uint8_t category);
+
+}  // namespace mamps::mjpeg

@@ -1,0 +1,80 @@
+#include "apps/mjpeg/testdata.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace mamps::mjpeg {
+
+const std::vector<std::string>& testSequenceNames() {
+  static const std::vector<std::string> names = {"gradient", "checker", "plasma", "blocks",
+                                                 "stripes"};
+  return names;
+}
+
+std::vector<Frame> makeTestSequence(const std::string& name, std::uint32_t frameCount,
+                                    std::uint32_t width, std::uint32_t height) {
+  std::vector<Frame> frames;
+  frames.reserve(frameCount);
+  Rng rng(0xBEEF);
+
+  for (std::uint32_t f = 0; f < frameCount; ++f) {
+    Frame frame(width, height);
+    for (std::uint32_t y = 0; y < height; ++y) {
+      for (std::uint32_t x = 0; x < width; ++x) {
+        std::uint8_t* px = &frame.rgb[(y * width + x) * 3];
+        if (name == "gradient") {
+          // Smooth moving diagonal gradient: very low frequency content.
+          px[0] = static_cast<std::uint8_t>((x * 2 + f * 4) & 0xff);
+          px[1] = static_cast<std::uint8_t>((y * 2 + f * 2) & 0xff);
+          px[2] = static_cast<std::uint8_t>((x + y) & 0xff);
+        } else if (name == "checker") {
+          // Hard-edged 8x8 checkerboard scrolling one pixel per frame.
+          const bool on = (((x + f) / 8 + y / 8) % 2) == 0;
+          px[0] = px[1] = px[2] = on ? 230 : 25;
+        } else if (name == "plasma") {
+          // Mid-frequency interference pattern.
+          const double v = std::sin((x + 3.0 * f) * 0.18) + std::sin(y * 0.23) +
+                           std::sin((x + y + 2.0 * f) * 0.11);
+          const auto level = static_cast<std::uint8_t>(128 + 40 * v);
+          px[0] = level;
+          px[1] = static_cast<std::uint8_t>(255 - level);
+          px[2] = static_cast<std::uint8_t>((level * 2) & 0xff);
+        } else if (name == "blocks") {
+          // Flat 16x16 color patches, re-randomized slowly: easy DC-only
+          // content with occasional jumps.
+          Rng patch(static_cast<std::uint64_t>(x / 16) * 131 + (y / 16) * 1009 + f / 4);
+          px[0] = static_cast<std::uint8_t>(patch.range(0, 255));
+          px[1] = static_cast<std::uint8_t>(patch.range(0, 255));
+          px[2] = static_cast<std::uint8_t>(patch.range(0, 255));
+        } else if (name == "stripes") {
+          // High-frequency vertical stripes with light noise.
+          const int base = (x % 2) == 0 ? 200 : 55;
+          const int noise = static_cast<int>(rng.range(0, 30));
+          px[0] = px[1] = px[2] = static_cast<std::uint8_t>(base + noise - 15);
+        } else {
+          throw Error("unknown test sequence: " + name);
+        }
+      }
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+std::vector<Frame> makeSyntheticSequence(std::uint32_t frameCount, std::uint32_t width,
+                                         std::uint32_t height, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Frame> frames;
+  frames.reserve(frameCount);
+  for (std::uint32_t f = 0; f < frameCount; ++f) {
+    Frame frame(width, height);
+    for (auto& byte : frame.rgb) {
+      byte = static_cast<std::uint8_t>(rng.range(0, 255));
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+}  // namespace mamps::mjpeg

@@ -1,0 +1,32 @@
+// Synthetic test material for the MJPEG case study.
+//
+// The paper evaluates on five recorded test sequences plus one synthetic
+// sequence of random data (Section 6.1). Without the original footage we
+// generate five deterministic "camera-like" sequences with distinct
+// spectral character plus the pure-random synthetic sequence; together
+// they span the execution-time variation that drives Figure 6.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/mjpeg/codec_types.hpp"
+
+namespace mamps::mjpeg {
+
+/// Names of the five test sequences.
+[[nodiscard]] const std::vector<std::string>& testSequenceNames();
+
+/// Generate frames of a named test sequence ("gradient", "checker",
+/// "plasma", "blocks", "stripes") — deterministic for a given name.
+[[nodiscard]] std::vector<Frame> makeTestSequence(const std::string& name,
+                                                  std::uint32_t frameCount, std::uint32_t width,
+                                                  std::uint32_t height);
+
+/// The synthetic sequence: uniform random pixels (maximum entropy, the
+/// worst case for the entropy decoder).
+[[nodiscard]] std::vector<Frame> makeSyntheticSequence(std::uint32_t frameCount,
+                                                       std::uint32_t width, std::uint32_t height,
+                                                       std::uint64_t seed = 1);
+
+}  // namespace mamps::mjpeg

@@ -1,0 +1,162 @@
+#include "comm/model.hpp"
+
+#include <algorithm>
+
+#include "platform/architecture.hpp"
+
+namespace mamps::comm {
+
+using sdf::ActorId;
+using sdf::Channel;
+using sdf::ChannelId;
+using sdf::ChannelSpec;
+using sdf::Graph;
+
+std::uint32_t wordsPerToken(std::uint32_t tokenSizeBytes) {
+  if (tokenSizeBytes == 0) {
+    throw ModelError("wordsPerToken: zero token size");
+  }
+  return (tokenSizeBytes + platform::kWordBytes - 1) / platform::kWordBytes;
+}
+
+void CommModelParams::validateFor(std::uint32_t prodRate, std::uint32_t consRate,
+                                  std::uint64_t initialTokens) const {
+  if (wordsPerToken == 0) {
+    throw ModelError("comm model: wordsPerToken must be positive");
+  }
+  if (wordsInFlight == 0) {
+    throw ModelError("comm model: wordsInFlight (w) must be positive");
+  }
+  if (srcBufferTokens < prodRate + initialTokens) {
+    throw ModelError("comm model: alpha_src must cover one production plus initial tokens");
+  }
+  if (dstBufferTokens < consRate) {
+    throw ModelError("comm model: alpha_dst must cover one consumption");
+  }
+}
+
+namespace {
+
+/// Clamp buffer parameters that must admit a whole token's worth of words.
+std::uint32_t atLeastN(std::uint32_t configured, std::uint32_t n) {
+  return std::max(configured, n);
+}
+
+}  // namespace
+
+CommExpansion expandChannels(const sdf::TimedGraph& timed,
+                             const std::map<ChannelId, CommModelParams>& params) {
+  const Graph& in = timed.graph;
+  if (timed.execTime.size() != in.actorCount()) {
+    throw ModelError("expandChannels: execTime size mismatch");
+  }
+  for (const auto& [channel, p] : params) {
+    const Channel& c = in.channel(channel);
+    if (c.isSelfEdge()) {
+      throw ModelError("expandChannels: self-edge " + c.name +
+                       " cannot be mapped to the interconnect");
+    }
+    p.validateFor(c.prodRate, c.consRate, c.initialTokens);
+  }
+
+  CommExpansion out;
+  out.graph.graph.setName(in.name() + "_comm");
+
+  // Copy actors (ids preserved).
+  for (ActorId a = 0; a < in.actorCount(); ++a) {
+    out.graph.graph.addActor(in.actor(a).name);
+    out.graph.execTime.push_back(timed.execTime[a]);
+    out.graph.maxConcurrent.push_back(timed.concurrencyLimit(a));
+  }
+
+  // Copy channels that stay local.
+  for (ChannelId c = 0; c < in.channelCount(); ++c) {
+    if (params.contains(c)) {
+      continue;
+    }
+    const Channel& channel = in.channel(c);
+    ChannelSpec spec;
+    spec.src = channel.src;
+    spec.dst = channel.dst;
+    spec.prodRate = channel.prodRate;
+    spec.consRate = channel.consRate;
+    spec.initialTokens = channel.initialTokens;
+    spec.tokenSizeBytes = channel.tokenSizeBytes;
+    spec.name = channel.name;
+    out.graph.graph.connect(spec);
+  }
+
+  // Expand the mapped channels.
+  for (const auto& [channelId, p] : params) {
+    const Channel& ch = in.channel(channelId);
+    const std::uint32_t n = p.wordsPerToken;
+    const std::uint32_t alphaN = atLeastN(p.connectionBufferWords, n);
+    const std::uint32_t txBuffer = atLeastN(p.txBufferWords, n);
+    const std::string& base = ch.name;
+    Graph& g = out.graph.graph;
+
+    ExpandedChannel ids;
+    ids.original = channelId;
+    const auto addActor = [&](const char* suffix, std::uint64_t execTime,
+                              std::uint32_t concurrency) {
+      const ActorId id = g.addActor(base + "_" + suffix);
+      out.graph.execTime.push_back(execTime);
+      out.graph.maxConcurrent.push_back(concurrency);
+      return id;
+    };
+    ids.s1 = addActor("s1", p.serializeTime, 1);
+    ids.s2 = addActor("s2", 0, 1);
+    ids.s3 = addActor("s3", 0, 1);
+    ids.c1 = addActor("c1", p.cyclesPerWord, 1);
+    ids.c2 = addActor("c2", p.latencyCycles, 0);  // words pipeline through the link
+    ids.d3 = addActor("d3", 0, 1);
+    ids.d2 = addActor("d2", 0, 1);
+    ids.d1 = addActor("d1", p.deserializeTime, 1);
+
+    const auto link = [&](ActorId src, std::uint32_t prod, ActorId dst, std::uint32_t cons,
+                          std::uint64_t tokens, const char* suffix) {
+      ChannelSpec spec;
+      spec.src = src;
+      spec.prodRate = prod;
+      spec.dst = dst;
+      spec.consRate = cons;
+      spec.initialTokens = tokens;
+      spec.tokenSizeBytes = ch.tokenSizeBytes;
+      spec.name = base + "_" + suffix;
+      return g.connect(spec);
+    };
+
+    // Source tile: asrc -> s1 (token queue, holds the d initial tokens),
+    // alpha_src back-pressure, serialization pipeline. s1 claims the NI
+    // transmit space for the whole token before serializing, exactly
+    // like the generated wrapper code that blocks on the FSL while
+    // copying words; c1 releases one slot per injected word.
+    link(ch.src, ch.prodRate, ids.s1, 1, ch.initialTokens, "srcq");
+    link(ids.s1, 1, ch.src, ch.prodRate, p.srcBufferTokens - ch.initialTokens, "alpha_src");
+    link(ids.c1, 1, ids.s1, n, txBuffer, "txbuf");
+    link(ids.s1, 1, ids.s2, 1, 0, "ser");
+    link(ids.s2, n, ids.s3, 1, 0, "frag");
+    link(ids.s3, 1, ids.c1, 1, 0, "inj");
+
+    // Interconnect: rate stage -> latency stage, w words in flight.
+    link(ids.c1, 1, ids.c2, 1, 0, "flight");
+    link(ids.c2, 1, ids.c1, 1, p.wordsInFlight, "w");
+
+    // Receiving side: words buffered in the connection (alpha_n,
+    // released when the de-serialization drains them from the NI),
+    // reassembled, and de-serialized into the destination buffer
+    // (alpha_dst, released when adst consumes).
+    link(ids.c2, 1, ids.d3, 1, 0, "rxq");
+    link(ids.d3, 1, ids.d2, n, 0, "ext");
+    link(ids.d2, 1, ids.d1, 1, 0, "asm");
+    link(ids.d1, n, ids.c1, 1, alphaN, "alpha_n");
+    link(ids.d1, 1, ch.dst, ch.consRate, 0, "dstq");
+    link(ch.dst, ch.consRate, ids.d1, 1, p.dstBufferTokens, "alpha_dst");
+
+    out.expanded.push_back(ids);
+  }
+
+  return out;
+}
+
+}  // namespace mamps::comm

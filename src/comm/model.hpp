@@ -1,0 +1,100 @@
+// The parameterized interconnect communication model of Figure 4.
+//
+// A channel of the application graph that is mapped onto the
+// interconnect is replaced by a sub-graph modeling the three phases of
+// transferring a token:
+//
+//   Tile A (sending):    asrc --(d initial)--> s1 -> s2 -> s3
+//     s1  consumes one token and performs the serialization work
+//         (execution time = serialization WCET; runs on the PE or on
+//         the communication assist).
+//     s2  (time 0) fragments the token into N 32-bit words.
+//     s3  (time 0) injects words into the network interface.
+//     alpha_src: back-edge s1 -> asrc bounding the source-side buffer.
+//     txBuffer:  back-edge c1 -> s2 bounding words waiting in the NI.
+//
+//   Interconnect:        c1 -> c2   (latency-rate model)
+//     c1  rate stage: execution time = cycles per word on the
+//         connection (1 for FSL; ceil(32/wires) for the SDM NoC).
+//     c2  latency stage: execution time = connection latency; words
+//         pipeline through it (unlimited self-concurrency), bounded by
+//         the back-edge c2 -> c1 carrying w initial tokens (the maximum
+//         number of words in simultaneous transmission).
+//     alpha_n: back-edge d2 -> c1 bounding words buffered in the
+//         connection at the receiving side.
+//
+//   Tile B (receiving):  d3 -> d2 -> d1 --> adst
+//     d3  (time 0) extracts words from the network interface.
+//     d2  (time 0) collects N words back into one token, releasing the
+//         alpha_n buffer space.
+//     d1  consumes one assembled token and performs the
+//         de-serialization work, delivering the token to adst.
+//     alpha_dst: back-edge adst -> d1 bounding the destination buffer.
+//
+// The original initial tokens d of the channel are placed on the
+// asrc -> s1 edge (they exist in the source buffer at startup, matching
+// the "alpha_src - n" annotation of Figure 4). Missing port rates are 1,
+// as in the figure. Changing w, alpha_n, and the execution times of s1,
+// c1/c2, and d1 adapts the model to different interconnects (Sec. 4.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace mamps::comm {
+
+/// All parameters of one expanded connection.
+struct CommModelParams {
+  std::uint32_t wordsPerToken = 1;       ///< N = ceil(tokenSize / 4)
+  std::uint64_t serializeTime = 0;       ///< s1 execution time
+  std::uint64_t deserializeTime = 0;     ///< d1 execution time
+  std::uint64_t cyclesPerWord = 1;       ///< c1 execution time (rate)
+  std::uint64_t latencyCycles = 1;       ///< c2 execution time
+  std::uint32_t wordsInFlight = 1;       ///< w: back-edge c2 -> c1
+  std::uint32_t connectionBufferWords = 4;  ///< alpha_n (clamped to >= N)
+  std::uint32_t txBufferWords = 4;       ///< NI send buffer (clamped to >= N)
+  std::uint64_t srcBufferTokens = 2;     ///< alpha_src (must be >= prodRate + initial)
+  std::uint64_t dstBufferTokens = 2;     ///< alpha_dst (must be >= consRate)
+
+  /// Check internal consistency for a channel with the given rates and
+  /// initial tokens; throws ModelError on violations.
+  void validateFor(std::uint32_t prodRate, std::uint32_t consRate,
+                   std::uint64_t initialTokens) const;
+};
+
+/// Ids of the actors created for one expanded channel (in the new graph).
+struct ExpandedChannel {
+  sdf::ChannelId original = sdf::kInvalidChannel;  ///< id in the *input* graph
+  sdf::ActorId s1 = sdf::kInvalidActor;
+  sdf::ActorId s2 = sdf::kInvalidActor;
+  sdf::ActorId s3 = sdf::kInvalidActor;
+  sdf::ActorId c1 = sdf::kInvalidActor;
+  sdf::ActorId c2 = sdf::kInvalidActor;
+  sdf::ActorId d1 = sdf::kInvalidActor;
+  sdf::ActorId d2 = sdf::kInvalidActor;
+  sdf::ActorId d3 = sdf::kInvalidActor;
+};
+
+/// Result of expanding a set of channels.
+struct CommExpansion {
+  sdf::TimedGraph graph;  ///< the binding-aware graph under construction
+  /// Original actor ids are preserved: actor k of the input graph is
+  /// actor k of the output graph.
+  std::vector<ExpandedChannel> expanded;
+};
+
+/// Build a copy of `timed` in which every channel listed in `params` is
+/// replaced by the Figure 4 sub-graph with the given parameters.
+/// Unlisted channels are copied unchanged. Actor ids of the input graph
+/// are preserved; new actors are appended.
+[[nodiscard]] CommExpansion expandChannels(
+    const sdf::TimedGraph& timed, const std::map<sdf::ChannelId, CommModelParams>& params);
+
+/// Number of 32-bit words needed for a token of `tokenSizeBytes`.
+[[nodiscard]] std::uint32_t wordsPerToken(std::uint32_t tokenSizeBytes);
+
+}  // namespace mamps::comm

@@ -1,0 +1,57 @@
+// Derivation of communication-model parameters from the architecture.
+//
+// Section 4.2: "The model in Figure 4 can be used for modeling
+// communication over many different forms of interconnect by changing
+// w, alpha_n, and the execution times of s1, c2, and d1 to appropriate
+// values." This header centralizes those choices for the two available
+// interconnects (FSL, SDM NoC) and the two serialization options
+// (on the processing element, or on the communication assist of [13]).
+#pragma once
+
+#include <cstdint>
+
+#include "comm/model.hpp"
+#include "platform/architecture.hpp"
+
+namespace mamps::comm {
+
+/// Where the (de)serialization code runs (Section 4.1).
+enum class SerializationMode {
+  OnProcessor,  ///< software loop on the PE; costs PE time
+  CommAssist,   ///< dedicated CA hardware of [13]; PE is relieved
+};
+
+/// Cost model of the (de)serialization of one token into/from N words.
+struct SerializationCost {
+  std::uint64_t fixedCycles = 0;
+  std::uint64_t perWordCycles = 0;
+
+  [[nodiscard]] std::uint64_t cycles(std::uint32_t words) const {
+    return fixedCycles + perWordCycles * words;
+  }
+};
+
+/// The software implementation measured on the Microblaze tiles: a call
+/// and loop overhead plus a load/store+FSL access pair per word.
+[[nodiscard]] SerializationCost processorSerializationCost();
+
+/// The communication assist of [13]: setup plus streaming at one word
+/// per two cycles.
+[[nodiscard]] SerializationCost commAssistSerializationCost();
+
+/// Parameters for one channel mapped on the FSL interconnect.
+[[nodiscard]] CommModelParams fslParams(const sdf::Channel& channel,
+                                        const platform::FslConfig& config,
+                                        SerializationMode mode,
+                                        std::uint64_t srcBufferTokens,
+                                        std::uint64_t dstBufferTokens);
+
+/// Parameters for one channel routed over the SDM NoC with `hops` router
+/// traversals and `wires` reserved wires.
+[[nodiscard]] CommModelParams nocParams(const sdf::Channel& channel,
+                                        const platform::NocConfig& config, std::uint32_t hops,
+                                        std::uint32_t wires, SerializationMode mode,
+                                        std::uint64_t srcBufferTokens,
+                                        std::uint64_t dstBufferTokens);
+
+}  // namespace mamps::comm

@@ -1,0 +1,52 @@
+#include "mamps/generator.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "mamps/hwgen.hpp"
+#include "mamps/project.hpp"
+#include "mamps/swgen.hpp"
+#include "support/strings.hpp"
+
+namespace mamps::gen {
+
+void PlatformProject::writeTo(const std::string& directory) const {
+  namespace fs = std::filesystem;
+  for (const auto& [path, content] : files) {
+    const fs::path full = fs::path(directory) / path;
+    fs::create_directories(full.parent_path());
+    std::ofstream out(full, std::ios::binary);
+    if (!out) {
+      throw GenerationError("cannot write " + full.string());
+    }
+    out << content;
+  }
+}
+
+PlatformProject generatePlatform(const sdf::ApplicationModel& app,
+                                 const platform::Architecture& arch,
+                                 const mapping::Mapping& mapping) {
+  const auto start = std::chrono::steady_clock::now();
+  if (mapping.actorToTile.size() != app.graph().actorCount() ||
+      mapping.channelRoutes.size() != app.graph().channelCount() ||
+      mapping.schedules.size() != arch.tileCount()) {
+    throw GenerationError("generatePlatform: mapping does not match application/architecture");
+  }
+
+  PlatformProject project;
+  project.memory = computeMemoryMaps(app, arch, mapping);
+
+  project.files["hw/system.mhs"] = generateSystemMhs(app, arch, mapping, project.memory);
+  project.files["hw/interconnect.vhd"] = generateInterconnectVhdl(app, arch, mapping);
+  project.files["sw/include/channels.h"] = generateChannelsHeader(app, arch, mapping);
+  for (platform::TileId t = 0; t < arch.tileCount(); ++t) {
+    project.files[strprintf("sw/tile%u/main.c", t)] = generateTileMain(app, arch, mapping, t);
+  }
+  project.files["build.tcl"] = generateXpsTcl(arch);
+  project.files["MANIFEST.txt"] = generateManifest(app, arch, mapping);
+
+  project.generationTime = std::chrono::steady_clock::now() - start;
+  return project;
+}
+
+}  // namespace mamps::gen

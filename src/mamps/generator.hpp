@@ -1,0 +1,33 @@
+// The MAMPS platform generator: the second tool of the design flow
+// (Figure 1). It combines the application model, the architecture
+// model, and the SDF3 mapping into a complete FPGA project: hardware
+// description, per-tile software, and the XPS build script.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "mamps/memory_map.hpp"
+#include "mapping/flow.hpp"
+
+namespace mamps::gen {
+
+/// All generated artifacts, keyed by project-relative path.
+struct PlatformProject {
+  std::map<std::string, std::string> files;
+  std::vector<TileMemoryMap> memory;
+  /// Wall-clock duration of the generation step (Table 1 reports 16 s
+  /// for the MJPEG project on the authors' machine).
+  std::chrono::duration<double> generationTime{0};
+
+  /// Write every artifact below `directory` (created if needed).
+  void writeTo(const std::string& directory) const;
+};
+
+/// Generate the complete project.
+[[nodiscard]] PlatformProject generatePlatform(const sdf::ApplicationModel& app,
+                                               const platform::Architecture& arch,
+                                               const mapping::Mapping& mapping);
+
+}  // namespace mamps::gen

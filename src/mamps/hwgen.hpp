@@ -1,0 +1,33 @@
+// Hardware platform generation (Section 5.2): "Template components are
+// instantiated and connected as required by the application. ... The
+// interconnect components are instantiated to match the specified
+// communication architecture. Connections are routed and the VHDL code
+// and peripheral driver for the interconnect are also generated."
+//
+// On an FPGA-less host this produces the same structural artifacts the
+// flow hands to Xilinx Platform Studio: an MHS-style component list and
+// a VHDL-style structural netlist for the interconnect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mamps/memory_map.hpp"
+#include "mapping/flow.hpp"
+
+namespace mamps::gen {
+
+/// The MHS-style system description: one block per tile component plus
+/// the interconnect instances.
+[[nodiscard]] std::string generateSystemMhs(const sdf::ApplicationModel& app,
+                                            const platform::Architecture& arch,
+                                            const mapping::Mapping& mapping,
+                                            const std::vector<TileMemoryMap>& memory);
+
+/// VHDL-style structural netlist of the interconnect: FSL instances or
+/// NoC routers with their programmed connections.
+[[nodiscard]] std::string generateInterconnectVhdl(const sdf::ApplicationModel& app,
+                                                   const platform::Architecture& arch,
+                                                   const mapping::Mapping& mapping);
+
+}  // namespace mamps::gen

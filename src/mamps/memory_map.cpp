@@ -1,0 +1,75 @@
+#include "mamps/memory_map.hpp"
+
+#include "mapping/binding.hpp"
+
+namespace mamps::gen {
+
+using sdf::ActorId;
+using sdf::ChannelId;
+
+std::uint32_t roundToBram(std::uint32_t bytes) {
+  std::uint32_t size = 1024;
+  while (size < bytes) {
+    size *= 2;
+  }
+  return size;
+}
+
+std::uint32_t TileMemoryMap::instrBytesRounded() const { return roundToBram(instrBytes()); }
+std::uint32_t TileMemoryMap::dataBytesRounded() const { return roundToBram(dataBytes()); }
+
+std::vector<TileMemoryMap> computeMemoryMaps(const sdf::ApplicationModel& app,
+                                             const platform::Architecture& arch,
+                                             const mapping::Mapping& mapping) {
+  const sdf::Graph& g = app.graph();
+  std::vector<TileMemoryMap> maps(arch.tileCount());
+  for (std::size_t t = 0; t < maps.size(); ++t) {
+    // Hardware IP tiles run no software: no scheduler/comm layer.
+    if (arch.tile(static_cast<platform::TileId>(t)).kind != platform::TileKind::HardwareIp) {
+      maps[t].runtimeInstrBytes = mapping::runtimeLayerInstrBytes();
+      maps[t].runtimeDataBytes = mapping::runtimeLayerDataBytes();
+    }
+  }
+
+  for (ActorId a = 0; a < g.actorCount(); ++a) {
+    const platform::TileId t = mapping.actorToTile.at(a);
+    const auto* impl = app.implementationFor(a, arch.tile(t).processorType);
+    if (impl == nullptr) {
+      throw GenerationError("computeMemoryMaps: actor " + g.actor(a).name +
+                            " has no implementation for tile " + arch.tile(t).name);
+    }
+    maps[t].actorInstrBytes += impl->instrMemBytes;
+    maps[t].actorDataBytes += impl->dataMemBytes;
+  }
+
+  for (ChannelId c = 0; c < g.channelCount(); ++c) {
+    const sdf::Channel& channel = g.channel(c);
+    const mapping::ChannelRoute& route = mapping.channelRoutes.at(c);
+    if (route.interTile) {
+      maps[route.srcTile].bufferBytes += static_cast<std::uint32_t>(
+          mapping.srcBufferTokens.at(c) * channel.tokenSizeBytes);
+      maps[route.dstTile].bufferBytes += static_cast<std::uint32_t>(
+          mapping.dstBufferTokens.at(c) * channel.tokenSizeBytes);
+    } else if (!channel.isSelfEdge()) {
+      maps[route.srcTile].bufferBytes += static_cast<std::uint32_t>(
+          mapping.localCapacityTokens.at(c) * channel.tokenSizeBytes);
+    } else {
+      // Self-edge state buffers: one slot per initial token.
+      maps[route.srcTile].bufferBytes +=
+          static_cast<std::uint32_t>(channel.initialTokens * channel.tokenSizeBytes);
+    }
+  }
+
+  for (std::size_t t = 0; t < maps.size(); ++t) {
+    const platform::Tile& tile = arch.tile(static_cast<platform::TileId>(t));
+    if (maps[t].instrBytesRounded() > tile.memory.instrBytes ||
+        maps[t].dataBytesRounded() > tile.memory.dataBytes) {
+      throw GenerationError("tile " + tile.name + " memory overflow: needs " +
+                            std::to_string(maps[t].instrBytesRounded()) + "+" +
+                            std::to_string(maps[t].dataBytesRounded()) + " bytes");
+    }
+  }
+  return maps;
+}
+
+}  // namespace mamps::gen

@@ -1,0 +1,43 @@
+// Per-tile memory sizing (Section 5.2): "Memory sizes are calculated
+// for each tile based on the mapped buffers, actors and the size of the
+// scheduling and communication layer."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/flow.hpp"
+#include "platform/architecture.hpp"
+#include "sdf/app_model.hpp"
+
+namespace mamps::gen {
+
+struct TileMemoryMap {
+  std::uint32_t actorInstrBytes = 0;    ///< sum of mapped actor code
+  std::uint32_t actorDataBytes = 0;     ///< sum of mapped actor data
+  std::uint32_t bufferBytes = 0;        ///< channel buffers hosted on this tile
+  std::uint32_t runtimeInstrBytes = 0;  ///< scheduler + communication layer
+  std::uint32_t runtimeDataBytes = 0;
+
+  [[nodiscard]] std::uint32_t instrBytes() const { return actorInstrBytes + runtimeInstrBytes; }
+  [[nodiscard]] std::uint32_t dataBytes() const {
+    return actorDataBytes + bufferBytes + runtimeDataBytes;
+  }
+  /// Memory is instantiated in power-of-two BRAM blocks.
+  [[nodiscard]] std::uint32_t instrBytesRounded() const;
+  [[nodiscard]] std::uint32_t dataBytesRounded() const;
+};
+
+/// Round up to the next power of two (minimum 1 kB).
+[[nodiscard]] std::uint32_t roundToBram(std::uint32_t bytes);
+
+/// Compute the memory map of every tile. Local channel buffers live on
+/// the tile running both endpoints; an inter-tile channel contributes
+/// its alpha_src buffer to the source tile and its alpha_dst buffer to
+/// the destination tile. Throws GenerationError when a tile overflows
+/// its template memory.
+[[nodiscard]] std::vector<TileMemoryMap> computeMemoryMaps(const sdf::ApplicationModel& app,
+                                                           const platform::Architecture& arch,
+                                                           const mapping::Mapping& mapping);
+
+}  // namespace mamps::gen

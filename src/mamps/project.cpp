@@ -1,0 +1,77 @@
+#include "mamps/project.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace mamps::gen {
+
+std::string generateXpsTcl(const platform::Architecture& arch) {
+  std::ostringstream os;
+  os << "# Generated XPS build script (MAMPS)\n";
+  os << "# xps -nw -scr build.tcl\n";
+  os << "xload new " << sanitizeIdentifier(arch.name()) << ".xmp\n";
+  os << "xset arch virtex6\n";
+  os << "xset dev xc6vlx240t\n";
+  os << "xset package ff1156\n";
+  os << "xset speedgrade -1\n";
+  os << "xset hier sub\n";
+  os << "xload mhs system.mhs\n";
+  for (std::size_t t = 0; t < arch.tileCount(); ++t) {
+    os << "xadd swapp tile" << t << "_sw tile" << t << "/main.c\n";
+    os << "xset swproj tile" << t << "_sw proc " << sanitizeIdentifier(arch.tile(
+              static_cast<platform::TileId>(t)).name) << "_pe\n";
+  }
+  os << "run bits\n";
+  os << "run initbram\n";
+  os << "exit\n";
+  return os.str();
+}
+
+std::string generateManifest(const sdf::ApplicationModel& app,
+                             const platform::Architecture& arch,
+                             const mapping::Mapping& mapping) {
+  const sdf::Graph& g = app.graph();
+  std::ostringstream os;
+  os << "MAMPS project manifest\n";
+  os << "======================\n";
+  os << "application:  " << g.name() << " (" << g.actorCount() << " actors, "
+     << g.channelCount() << " channels)\n";
+  os << "architecture: " << arch.name() << " (" << arch.tileCount() << " tiles, "
+     << platform::interconnectKindName(arch.interconnect()) << ")\n";
+  os << "serialization: "
+     << (mapping.serialization == comm::SerializationMode::OnProcessor ? "processing element"
+                                                                       : "communication assist")
+     << "\n\n";
+  os << "actor binding:\n";
+  for (sdf::ActorId a = 0; a < g.actorCount(); ++a) {
+    os << "  " << g.actor(a).name << " -> " << arch.tile(mapping.actorToTile.at(a)).name << "\n";
+  }
+  os << "\nstatic-order schedules:\n";
+  for (std::size_t t = 0; t < mapping.schedules.size(); ++t) {
+    os << "  " << arch.tile(static_cast<platform::TileId>(t)).name << ":";
+    for (const sdf::ActorId a : mapping.schedules[t]) {
+      os << " " << g.actor(a).name;
+    }
+    os << "\n";
+  }
+  os << "\ninter-tile channels:\n";
+  for (sdf::ChannelId c = 0; c < g.channelCount(); ++c) {
+    const mapping::ChannelRoute& route = mapping.channelRoutes.at(c);
+    if (!route.interTile) {
+      continue;
+    }
+    os << "  " << g.channel(c).name << ": " << arch.tile(route.srcTile).name << " -> "
+       << arch.tile(route.dstTile).name;
+    if (arch.interconnect() == platform::InterconnectKind::Fsl) {
+      os << " (fsl_" << route.fslIndex << ")";
+    } else {
+      os << " (" << route.route.size() << " hops, " << route.wires << " wires)";
+    }
+    os << ", alpha_src=" << mapping.srcBufferTokens.at(c)
+       << ", alpha_dst=" << mapping.dstBufferTokens.at(c) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mamps::gen

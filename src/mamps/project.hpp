@@ -1,0 +1,21 @@
+// XPS project emission (Section 5.2): "The XPS TCL script interface is
+// then used to complete the project and to add the required hard and
+// software targets for the implementation. Using the script interface
+// ensures compatibility over many different versions of XPS."
+#pragma once
+
+#include <string>
+
+#include "mapping/flow.hpp"
+
+namespace mamps::gen {
+
+/// The build TCL driving XPS from system creation to bitstream.
+[[nodiscard]] std::string generateXpsTcl(const platform::Architecture& arch);
+
+/// A human-readable project manifest summarizing the generated system.
+[[nodiscard]] std::string generateManifest(const sdf::ApplicationModel& app,
+                                           const platform::Architecture& arch,
+                                           const mapping::Mapping& mapping);
+
+}  // namespace mamps::gen

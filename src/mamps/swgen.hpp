@@ -1,0 +1,26 @@
+// Software platform generation (Section 5.2): "This includes generating
+// wrapper code for each actor, translating the static-order schedule
+// provided by SDF3 into C code, and generating initialization code for
+// the communication."
+#pragma once
+
+#include <string>
+
+#include "mamps/memory_map.hpp"
+#include "mapping/flow.hpp"
+
+namespace mamps::gen {
+
+/// The shared channels.h header: buffer declarations and token types.
+[[nodiscard]] std::string generateChannelsHeader(const sdf::ApplicationModel& app,
+                                                 const platform::Architecture& arch,
+                                                 const mapping::Mapping& mapping);
+
+/// main.c of one tile: actor wrappers, the static-order schedule lookup
+/// table, the communication initialization, and the main loop.
+[[nodiscard]] std::string generateTileMain(const sdf::ApplicationModel& app,
+                                           const platform::Architecture& arch,
+                                           const mapping::Mapping& mapping,
+                                           platform::TileId tile);
+
+}  // namespace mamps::gen

@@ -1,0 +1,172 @@
+#include "mapping/binding.hpp"
+
+#include <algorithm>
+
+#include "platform/noc_topology.hpp"
+#include "sdf/repetition_vector.hpp"
+
+namespace mamps::mapping {
+
+using platform::Architecture;
+using platform::TileId;
+using sdf::ActorId;
+using sdf::ApplicationModel;
+using sdf::ChannelId;
+
+std::uint32_t runtimeLayerInstrBytes() { return 8 * 1024; }
+std::uint32_t runtimeLayerDataBytes() { return 2 * 1024; }
+
+namespace {
+
+/// Hop distance between two tiles for latency costing; 1 for FSL
+/// (dedicated point-to-point links), XY distance for the NoC.
+std::uint32_t tileDistance(const Architecture& arch, TileId a, TileId b) {
+  if (a == b) {
+    return 0;
+  }
+  if (arch.interconnect() == platform::InterconnectKind::Fsl) {
+    return 1;
+  }
+  const platform::NocTopology topology(arch.noc());
+  return topology.hopDistance(a, b);
+}
+
+}  // namespace
+
+std::optional<BindingResult> bindActors(const ApplicationModel& app, const Architecture& arch,
+                                        const MappingOptions& options) {
+  const sdf::Graph& g = app.graph();
+  const auto qOpt = sdf::computeRepetitionVector(g);
+  if (!qOpt) {
+    throw ModelError("bindActors: application graph is inconsistent");
+  }
+  const auto& q = *qOpt;
+  if (arch.tileCount() == 0) {
+    return std::nullopt;
+  }
+
+  BindingResult result;
+  result.actorToTile.assign(g.actorCount(), 0);
+  result.usage.assign(arch.tileCount(), {});
+  for (std::size_t t = 0; t < arch.tileCount(); ++t) {
+    // Hardware IP tiles run no software: no scheduler/comm layer.
+    if (arch.tile(static_cast<TileId>(t)).kind != platform::TileKind::HardwareIp) {
+      result.usage[t].instrBytes = runtimeLayerInstrBytes();
+      result.usage[t].dataBytes = runtimeLayerDataBytes();
+    }
+  }
+
+  // Total work, for normalizing the processing cost.
+  double totalWork = 0;
+  for (ActorId a = 0; a < g.actorCount(); ++a) {
+    const auto& impls = app.implementations(a);
+    if (impls.empty()) {
+      throw ModelError("bindActors: actor " + g.actor(a).name + " has no implementation");
+    }
+    totalWork += static_cast<double>(impls.front().wcetCycles) * static_cast<double>(q[a]);
+  }
+  totalWork = std::max(totalWork, 1.0);
+
+  // Bind heaviest actors first: their placement dominates the balance.
+  std::vector<ActorId> order(g.actorCount());
+  for (ActorId a = 0; a < g.actorCount(); ++a) {
+    order[a] = a;
+  }
+  std::sort(order.begin(), order.end(), [&](ActorId x, ActorId y) {
+    const auto workOf = [&](ActorId a) {
+      return static_cast<double>(app.implementations(a).front().wcetCycles) *
+             static_cast<double>(q[a]);
+    };
+    const double wx = workOf(x);
+    const double wy = workOf(y);
+    if (wx != wy) {
+      return wx > wy;
+    }
+    return x < y;
+  });
+
+  std::vector<bool> bound(g.actorCount(), false);
+
+  for (const ActorId a : order) {
+    double bestCost = 0;
+    std::optional<TileId> bestTile;
+    const sdf::ActorImplementation* bestImpl = nullptr;
+
+    for (TileId t = 0; t < arch.tileCount(); ++t) {
+      const platform::Tile& tile = arch.tile(t);
+      const sdf::ActorImplementation* impl = app.implementationFor(a, tile.processorType);
+      if (impl == nullptr) {
+        continue;  // no implementation for this processor type
+      }
+      const TileUsage& usage = result.usage[t];
+      if (usage.instrBytes + impl->instrMemBytes > tile.memory.instrBytes ||
+          usage.dataBytes + impl->dataMemBytes > tile.memory.dataBytes) {
+        continue;  // memory does not fit
+      }
+
+      // Cost functions (Section 5.1): processing, memory, communication,
+      // latency; all normalized to [0, ~1] before weighting.
+      const double processing =
+          (static_cast<double>(usage.loadCycles) +
+           static_cast<double>(impl->wcetCycles) * static_cast<double>(q[a])) /
+          totalWork;
+      const double memory =
+          static_cast<double>(usage.instrBytes + impl->instrMemBytes + usage.dataBytes +
+                              impl->dataMemBytes) /
+          static_cast<double>(tile.memory.totalBytes());
+
+      double commBytes = 0;
+      double latencyHops = 0;
+      const auto accountChannel = [&](ChannelId cid, ActorId other) {
+        if (!bound[other]) {
+          return;
+        }
+        const sdf::Channel& c = g.channel(cid);
+        const TileId otherTile = result.actorToTile[other];
+        if (otherTile == t) {
+          return;  // local communication is free
+        }
+        const double bytesPerIteration = static_cast<double>(q[c.src]) *
+                                         static_cast<double>(c.prodRate) *
+                                         static_cast<double>(c.tokenSizeBytes);
+        commBytes += bytesPerIteration;
+        latencyHops += tileDistance(arch, t, otherTile);
+      };
+      for (const ChannelId cid : g.actor(a).inputs) {
+        accountChannel(cid, g.channel(cid).src);
+      }
+      for (const ChannelId cid : g.actor(a).outputs) {
+        if (!g.channel(cid).isSelfEdge()) {
+          accountChannel(cid, g.channel(cid).dst);
+        }
+      }
+      const double communication = commBytes / 4096.0;
+      const double latency = latencyHops / 8.0;
+
+      const double cost = options.weights.processing * processing +
+                          options.weights.memory * memory +
+                          options.weights.communication * communication +
+                          options.weights.latency * latency;
+      if (!bestTile || cost < bestCost) {
+        bestCost = cost;
+        bestTile = t;
+        bestImpl = impl;
+      }
+    }
+
+    if (!bestTile) {
+      return std::nullopt;  // actor cannot be placed anywhere
+    }
+    result.actorToTile[a] = *bestTile;
+    bound[a] = true;
+    TileUsage& usage = result.usage[*bestTile];
+    usage.loadCycles += bestImpl->wcetCycles * q[a];
+    usage.instrBytes += bestImpl->instrMemBytes;
+    usage.dataBytes += bestImpl->dataMemBytes;
+    usage.actors.push_back(a);
+  }
+
+  return result;
+}
+
+}  // namespace mamps::mapping

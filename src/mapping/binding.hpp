@@ -1,0 +1,32 @@
+// Resource-aware actor binding driven by generic cost functions
+// (Section 5.1). Actors are bound one by one, heaviest first; each
+// candidate tile is scored on processing balance, memory headroom,
+// inter-tile communication volume, and interconnect latency.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mapping/mapping.hpp"
+
+namespace mamps::mapping {
+
+struct BindingResult {
+  std::vector<platform::TileId> actorToTile;
+  std::vector<TileUsage> usage;  ///< per tile
+};
+
+/// Bind every actor of `app` to a tile of `arch`. Actors can only go to
+/// tiles whose processor type they have an implementation for, and only
+/// where instruction/data memory still fits. Returns nullopt when no
+/// feasible binding exists.
+[[nodiscard]] std::optional<BindingResult> bindActors(const sdf::ApplicationModel& app,
+                                                      const platform::Architecture& arch,
+                                                      const MappingOptions& options);
+
+/// Fixed memory cost of the scheduling and communication layer included
+/// in every Microblaze tile's image (Section 5.2).
+[[nodiscard]] std::uint32_t runtimeLayerInstrBytes();
+[[nodiscard]] std::uint32_t runtimeLayerDataBytes();
+
+}  // namespace mamps::mapping

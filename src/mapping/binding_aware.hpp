@@ -1,0 +1,40 @@
+// Binding-aware graph construction.
+//
+// The binding-aware graph is the application graph transformed to
+// reflect all mapping decisions, so that a throughput analysis of it is
+// a conservative bound for the generated platform:
+//   - inter-tile channels are replaced by the Figure 4 communication
+//     model (serialization, latency-rate connection, de-serialization,
+//     and all buffer back-pressure edges),
+//   - local channels get capacity back-edges for their allocated buffers,
+//   - actors are bound to tile resources with the static-order schedule
+//     (enforced by the resource-constrained throughput analysis),
+//   - with PE-based serialization, the (de)serialization work is added
+//     to the actor execution times, matching the generated wrapper code
+//     which serializes outputs and de-serializes inputs inline.
+#pragma once
+
+#include <vector>
+
+#include "analysis/throughput.hpp"
+#include "comm/model.hpp"
+#include "mapping/mapping.hpp"
+
+namespace mamps::mapping {
+
+struct BindingAwareModel {
+  sdf::TimedGraph graph;
+  analysis::ResourceConstraints resources;
+  /// One entry per inter-tile channel (communication model actor ids).
+  std::vector<comm::ExpandedChannel> expanded;
+};
+
+/// Build the binding-aware model. `actorExecTimes` are the per-firing
+/// execution times of the application actors *excluding* serialization
+/// (WCETs for the guarantee; measured times for the expected value).
+[[nodiscard]] BindingAwareModel buildBindingAware(const sdf::ApplicationModel& app,
+                                                  const platform::Architecture& arch,
+                                                  const Mapping& mapping,
+                                                  const std::vector<std::uint64_t>& actorExecTimes);
+
+}  // namespace mamps::mapping

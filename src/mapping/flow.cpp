@@ -1,0 +1,188 @@
+#include "mapping/flow.hpp"
+
+#include <algorithm>
+
+#include "analysis/buffer.hpp"
+#include "mapping/schedule.hpp"
+#include "platform/noc_topology.hpp"
+#include "sdf/repetition_vector.hpp"
+#include "support/log.hpp"
+
+namespace mamps::mapping {
+
+using platform::TileId;
+using sdf::ActorId;
+using sdf::ChannelId;
+
+namespace {
+
+/// Assign interconnect resources to every inter-tile channel. For the
+/// NoC this reserves SDM wires along the XY route (degrading the wire
+/// count when links fill up); for FSL every channel gets a dedicated
+/// link. Returns false when a NoC connection cannot be routed at all.
+bool routeChannels(const sdf::Graph& g, const platform::Architecture& arch,
+                   const std::vector<TileId>& actorToTile, const MappingOptions& options,
+                   std::vector<ChannelRoute>& routes) {
+  routes.assign(g.channelCount(), {});
+  std::uint32_t fslIndex = 0;
+
+  std::optional<platform::NocTopology> topology;
+  std::optional<platform::WireAllocator> allocator;
+  if (arch.interconnect() == platform::InterconnectKind::NocMesh) {
+    topology.emplace(arch.noc());
+    allocator.emplace(*topology);
+  }
+
+  for (ChannelId c = 0; c < g.channelCount(); ++c) {
+    const sdf::Channel& channel = g.channel(c);
+    ChannelRoute& route = routes[c];
+    route.srcTile = actorToTile[channel.src];
+    route.dstTile = actorToTile[channel.dst];
+    route.interTile = route.srcTile != route.dstTile;
+    if (!route.interTile) {
+      continue;
+    }
+    if (arch.interconnect() == platform::InterconnectKind::Fsl) {
+      route.fslIndex = fslIndex++;
+      continue;
+    }
+    route.route = topology->xyRoute(route.srcTile, route.dstTile);
+    std::uint32_t wires = std::min(options.nocWiresPerConnection, arch.noc().wiresPerLink);
+    wires = std::max<std::uint32_t>(wires, 1);
+    while (!allocator->reserve(route.route, wires)) {
+      if (wires == 1) {
+        return false;  // the route is saturated
+      }
+      wires /= 2;
+    }
+    route.wires = wires;
+  }
+  return true;
+}
+
+/// Initial buffer distribution: conservative lower bounds scaled by the
+/// configured factor.
+void assignBuffers(const sdf::Graph& g, const std::vector<ChannelRoute>& routes,
+                   std::uint32_t scale, Mapping& mapping) {
+  mapping.localCapacityTokens.assign(g.channelCount(), 0);
+  mapping.srcBufferTokens.assign(g.channelCount(), 0);
+  mapping.dstBufferTokens.assign(g.channelCount(), 0);
+  for (ChannelId c = 0; c < g.channelCount(); ++c) {
+    const sdf::Channel& channel = g.channel(c);
+    if (channel.isSelfEdge()) {
+      continue;
+    }
+    if (routes[c].interTile) {
+      mapping.srcBufferTokens[c] =
+          (std::uint64_t{channel.prodRate} + channel.initialTokens) * scale;
+      mapping.dstBufferTokens[c] = std::uint64_t{channel.consRate} * scale;
+    } else {
+      mapping.localCapacityTokens[c] = analysis::capacityLowerBound(channel) * scale;
+    }
+  }
+}
+
+void growBuffers(const sdf::Graph& g, Mapping& mapping) {
+  for (ChannelId c = 0; c < g.channelCount(); ++c) {
+    if (g.channel(c).isSelfEdge()) {
+      continue;
+    }
+    if (mapping.channelRoutes[c].interTile) {
+      mapping.srcBufferTokens[c] *= 2;
+      mapping.dstBufferTokens[c] *= 2;
+    } else {
+      mapping.localCapacityTokens[c] *= 2;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<MappingResult> mapApplication(const sdf::ApplicationModel& app,
+                                            const platform::Architecture& arch,
+                                            const MappingOptions& options) {
+  app.validate();
+  arch.validate();
+  const sdf::Graph& g = app.graph();
+  if (!sdf::isConsistent(g)) {
+    return std::nullopt;
+  }
+  if (!sdf::isDeadlockFree(g)) {
+    return std::nullopt;
+  }
+
+  const auto binding = bindActors(app, arch, options);
+  if (!binding) {
+    logWarning("mapApplication: no feasible binding");
+    return std::nullopt;
+  }
+
+  const auto schedules = buildStaticOrderSchedules(app, arch, binding->actorToTile);
+  if (!schedules) {
+    logWarning("mapApplication: schedule construction deadlocked");
+    return std::nullopt;
+  }
+
+  MappingResult result;
+  result.mapping.actorToTile = binding->actorToTile;
+  result.mapping.schedules = *schedules;
+  result.mapping.serialization = options.serialization;
+  result.usage = binding->usage;
+
+  // Route with the requested SDM width; when a link saturates, retry the
+  // whole allocation with a globally halved request so early connections
+  // do not starve later ones.
+  {
+    std::uint32_t wires = std::max<std::uint32_t>(1, options.nocWiresPerConnection);
+    MappingOptions attempt = options;
+    for (;;) {
+      attempt.nocWiresPerConnection = wires;
+      if (routeChannels(g, arch, binding->actorToTile, attempt,
+                        result.mapping.channelRoutes)) {
+        break;
+      }
+      if (wires == 1) {
+        logWarning("mapApplication: NoC routing failed (saturated links)");
+        return std::nullopt;
+      }
+      wires /= 2;
+    }
+  }
+
+  // WCETs per actor on its bound tile.
+  std::vector<std::uint64_t> wcet(g.actorCount());
+  for (ActorId a = 0; a < g.actorCount(); ++a) {
+    const auto* impl =
+        app.implementationFor(a, arch.tile(binding->actorToTile[a]).processorType);
+    wcet[a] = impl->wcetCycles;
+  }
+
+  // Buffer distribution: start from scaled lower bounds, grow until the
+  // throughput constraint holds or the growth budget is spent.
+  assignBuffers(g, result.mapping.channelRoutes, std::max<std::uint32_t>(1, options.initialBufferScale),
+                result.mapping);
+  const Rational constraint = app.throughputConstraint();
+  for (std::uint32_t round = 0;; ++round) {
+    result.model = buildBindingAware(app, arch, result.mapping, wcet);
+    result.throughput = analysis::computeThroughput(result.model.graph, result.model.resources);
+    const bool met =
+        result.throughput.ok() && (constraint.isZero() ||
+                                   result.throughput.iterationsPerCycle >= constraint);
+    if (met || round >= options.bufferGrowthRounds) {
+      result.meetsConstraint = met;
+      break;
+    }
+    growBuffers(g, result.mapping);
+  }
+  return result;
+}
+
+analysis::ThroughputResult analyzeMapping(const sdf::ApplicationModel& app,
+                                          const platform::Architecture& arch,
+                                          const Mapping& mapping,
+                                          const std::vector<std::uint64_t>& actorExecTimes) {
+  const BindingAwareModel model = buildBindingAware(app, arch, mapping, actorExecTimes);
+  return analysis::computeThroughput(model.graph, model.resources);
+}
+
+}  // namespace mamps::mapping

@@ -1,0 +1,38 @@
+// The SDF3 mapping step of the design flow (Section 5.1): binding,
+// routing, buffer distribution, static-order scheduling, and the
+// guaranteed-throughput analysis of the resulting binding-aware graph.
+#pragma once
+
+#include <optional>
+
+#include "mapping/binding.hpp"
+#include "mapping/binding_aware.hpp"
+#include "mapping/mapping.hpp"
+
+namespace mamps::mapping {
+
+struct MappingResult {
+  Mapping mapping;
+  BindingAwareModel model;            ///< built with WCETs
+  analysis::ThroughputResult throughput;  ///< the conservative guarantee
+  bool meetsConstraint = false;
+  std::vector<TileUsage> usage;       ///< per-tile load and memory accounting
+};
+
+/// Run the complete mapping step. Returns nullopt when no feasible
+/// binding exists or the application deadlocks; otherwise the best
+/// mapping found (meetsConstraint reports whether the application's
+/// throughput constraint is satisfied).
+[[nodiscard]] std::optional<MappingResult> mapApplication(const sdf::ApplicationModel& app,
+                                                          const platform::Architecture& arch,
+                                                          const MappingOptions& options = {});
+
+/// Re-analyze an existing mapping with different actor execution times
+/// (e.g. measured instead of worst-case) and/or a different
+/// serialization mode. Used for the "expected" curves of Figure 6 and
+/// the communication-assist experiment of Section 6.3.
+[[nodiscard]] analysis::ThroughputResult analyzeMapping(
+    const sdf::ApplicationModel& app, const platform::Architecture& arch, const Mapping& mapping,
+    const std::vector<std::uint64_t>& actorExecTimes);
+
+}  // namespace mamps::mapping

@@ -1,0 +1,6 @@
+#include "mapping/mapping.hpp"
+
+// Mapping is a data-only module; its behaviour lives in binding.cpp,
+// schedule.cpp, binding_aware.cpp, and flow.cpp. This translation unit
+// exists to anchor the library target.
+namespace mamps::mapping {}

@@ -1,0 +1,87 @@
+// Mapping data structures: the output of the SDF3 step of the flow
+// (Section 5.1): "Buffer distributions, task mapping and static-order
+// schedules are determined and gathered in the mapping output of SDF3."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/params.hpp"
+#include "platform/architecture.hpp"
+#include "platform/noc_topology.hpp"
+#include "sdf/app_model.hpp"
+#include "support/rational.hpp"
+
+namespace mamps::mapping {
+
+/// Interconnect assignment of one inter-tile channel.
+struct ChannelRoute {
+  bool interTile = false;
+  platform::TileId srcTile = 0;
+  platform::TileId dstTile = 0;
+  /// NoC: the XY route (link ids) and the reserved SDM wires.
+  std::vector<platform::LinkId> route;
+  std::uint32_t wires = 0;
+  /// FSL: index of the dedicated point-to-point link.
+  std::uint32_t fslIndex = 0;
+};
+
+/// A complete mapping of an application onto an architecture.
+struct Mapping {
+  /// actor -> tile
+  std::vector<platform::TileId> actorToTile;
+  /// channel -> interconnect assignment (interTile == false for local channels)
+  std::vector<ChannelRoute> channelRoutes;
+  /// Local channels: buffer capacity in tokens (0 for inter-tile channels).
+  std::vector<std::uint64_t> localCapacityTokens;
+  /// Inter-tile channels: source-/destination-side buffers in tokens
+  /// (alpha_src / alpha_dst of the communication model).
+  std::vector<std::uint64_t> srcBufferTokens;
+  std::vector<std::uint64_t> dstBufferTokens;
+  /// Per tile: the cyclic static-order schedule (actor firings).
+  std::vector<std::vector<sdf::ActorId>> schedules;
+  /// Where the (de)serialization runs.
+  comm::SerializationMode serialization = comm::SerializationMode::OnProcessor;
+
+  [[nodiscard]] std::uint32_t fslLinkCount() const {
+    std::uint32_t n = 0;
+    for (const ChannelRoute& r : channelRoutes) {
+      n = std::max(n, r.interTile ? r.fslIndex + 1 : n);
+    }
+    return n;
+  }
+};
+
+/// Weights of the generic cost functions steering the binding
+/// (Section 5.1: processing, memory usage, communication, latency).
+struct CostWeights {
+  double processing = 1.0;
+  double memory = 0.25;
+  double communication = 0.5;
+  double latency = 0.25;
+};
+
+struct MappingOptions {
+  CostWeights weights;
+  comm::SerializationMode serialization = comm::SerializationMode::OnProcessor;
+  /// SDM wires requested per NoC connection; degraded when links fill up.
+  std::uint32_t nocWiresPerConnection = 8;
+  /// Rounds of buffer enlargement when the throughput constraint is missed.
+  std::uint32_t bufferGrowthRounds = 4;
+  /// Scale factor applied to the minimal buffer sizes up front; the
+  /// paper's flow computes buffer distributions that sustain the
+  /// throughput, which small minimal buffers typically do not.
+  std::uint32_t initialBufferScale = 2;
+};
+
+/// Intermediate per-tile accounting used by binding and generation.
+struct TileUsage {
+  std::uint64_t loadCycles = 0;       ///< sum of wcet * repetitions
+  std::uint32_t instrBytes = 0;
+  std::uint32_t dataBytes = 0;
+  std::vector<sdf::ActorId> actors;
+};
+
+}  // namespace mamps::mapping

@@ -1,0 +1,23 @@
+// Static-order schedule construction.
+//
+// Given a binding, a resource-constrained list scheduling of one graph
+// iteration (with WCETs) determines, per tile, the order in which actor
+// firings start. That order, repeated cyclically, is the static-order
+// schedule that the MAMPS runtime executes as a lookup table.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mapping/mapping.hpp"
+
+namespace mamps::mapping {
+
+/// Build one static-order schedule per tile. Each bound actor `a`
+/// appears exactly q[a] times in its tile's schedule. Returns nullopt
+/// when the graph deadlocks (cannot complete an iteration).
+[[nodiscard]] std::optional<std::vector<std::vector<sdf::ActorId>>> buildStaticOrderSchedules(
+    const sdf::ApplicationModel& app, const platform::Architecture& arch,
+    const std::vector<platform::TileId>& actorToTile);
+
+}  // namespace mamps::mapping

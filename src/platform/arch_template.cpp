@@ -1,0 +1,44 @@
+#include "platform/arch_template.hpp"
+
+#include "platform/noc_topology.hpp"
+#include "support/strings.hpp"
+
+namespace mamps::platform {
+
+Architecture generateFromTemplate(const TemplateRequest& request) {
+  if (request.tileCount == 0) {
+    throw ModelError("architecture template needs at least one tile");
+  }
+  Architecture arch("mamps_" + std::to_string(request.tileCount) + "t_" +
+                    std::string(interconnectKindName(request.interconnect)));
+
+  for (std::uint32_t i = 0; i < request.tileCount; ++i) {
+    Tile tile;
+    tile.name = strprintf("tile%u", i);
+    if (i == 0) {
+      tile.kind = TileKind::Master;
+    } else {
+      tile.kind = request.withCommAssist ? TileKind::CommAssist : TileKind::Slave;
+    }
+    tile.processorType = "microblaze";
+    tile.memory = request.tileMemory;
+    arch.addTile(tile);
+  }
+
+  arch.setInterconnect(request.interconnect);
+  if (request.interconnect == InterconnectKind::NocMesh) {
+    const auto [rows, cols] = nearSquareMesh(request.tileCount);
+    arch.noc().rows = rows;
+    arch.noc().cols = cols;
+    arch.noc().wiresPerLink = request.nocWiresPerLink;
+    arch.noc().hopLatencyCycles = request.nocHopLatencyCycles;
+    arch.noc().connectionBufferWords = request.nocConnectionBufferWords;
+    arch.noc().flowControl = true;
+  } else {
+    arch.fsl().fifoDepthWords = request.fslFifoDepthWords;
+  }
+  arch.validate();
+  return arch;
+}
+
+}  // namespace mamps::platform

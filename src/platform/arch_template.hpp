@@ -1,0 +1,35 @@
+// Template-based architecture generation (Sections 4 and 5.3).
+//
+// Given only a tile count and an interconnect choice, the template
+// instantiates a complete architecture: one master tile (with access to
+// the board peripherals), slave tiles for the rest, and — for the NoC —
+// a near-square mesh sized to the tile count. Table 1 reports this step
+// as fully automated ("Generating architecture model: 1 second").
+#pragma once
+
+#include <cstdint>
+
+#include "platform/architecture.hpp"
+
+namespace mamps::platform {
+
+struct TemplateRequest {
+  std::uint32_t tileCount = 2;
+  InterconnectKind interconnect = InterconnectKind::Fsl;
+  /// Default memory per tile; the platform generator later shrinks this
+  /// to the actually required sizes.
+  MemorySpec tileMemory{128 * 1024, 128 * 1024};
+  /// Use CommAssist tiles instead of plain master/slave tiles.
+  bool withCommAssist = false;
+  /// NoC knobs (ignored for FSL).
+  std::uint32_t nocWiresPerLink = 32;
+  std::uint32_t nocHopLatencyCycles = 3;
+  std::uint32_t nocConnectionBufferWords = 4;
+  /// FSL knobs (ignored for NoC).
+  std::uint32_t fslFifoDepthWords = 16;
+};
+
+/// Instantiate the architecture template. Tile 0 is always the master.
+[[nodiscard]] Architecture generateFromTemplate(const TemplateRequest& request);
+
+}  // namespace mamps::platform

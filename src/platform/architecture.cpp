@@ -1,0 +1,100 @@
+#include "platform/architecture.hpp"
+
+namespace mamps::platform {
+
+std::string_view tileKindName(TileKind kind) {
+  switch (kind) {
+    case TileKind::Master: return "master";
+    case TileKind::Slave: return "slave";
+    case TileKind::CommAssist: return "commAssist";
+    case TileKind::HardwareIp: return "hardwareIp";
+  }
+  return "?";
+}
+
+TileKind tileKindFromName(std::string_view name) {
+  if (name == "master") return TileKind::Master;
+  if (name == "slave") return TileKind::Slave;
+  if (name == "commAssist") return TileKind::CommAssist;
+  if (name == "hardwareIp") return TileKind::HardwareIp;
+  throw ParseError("unknown tile kind: '" + std::string(name) + "'");
+}
+
+std::string_view interconnectKindName(InterconnectKind kind) {
+  switch (kind) {
+    case InterconnectKind::Fsl: return "fsl";
+    case InterconnectKind::NocMesh: return "nocMesh";
+  }
+  return "?";
+}
+
+InterconnectKind interconnectKindFromName(std::string_view name) {
+  if (name == "fsl") return InterconnectKind::Fsl;
+  if (name == "nocMesh") return InterconnectKind::NocMesh;
+  throw ParseError("unknown interconnect kind: '" + std::string(name) + "'");
+}
+
+TileId Architecture::addTile(Tile tile) {
+  if (tile.name.empty()) {
+    throw ModelError("tile name must be non-empty");
+  }
+  if (findTile(tile.name)) {
+    throw ModelError("duplicate tile name: " + tile.name);
+  }
+  if (tile.memory.totalBytes() > kMaxTileMemoryBytes) {
+    throw ModelError("tile " + tile.name + " exceeds the " +
+                     std::to_string(kMaxTileMemoryBytes / 1024) + " kB memory limit");
+  }
+  tiles_.push_back(std::move(tile));
+  return static_cast<TileId>(tiles_.size() - 1);
+}
+
+const Tile& Architecture::tile(TileId id) const {
+  if (id >= tiles_.size()) {
+    throw ModelError("tile id out of range: " + std::to_string(id));
+  }
+  return tiles_[id];
+}
+
+std::optional<TileId> Architecture::findTile(std::string_view name) const {
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    if (tiles_[i].name == name) {
+      return static_cast<TileId>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+void Architecture::validate() const {
+  std::size_t masters = 0;
+  for (const Tile& t : tiles_) {
+    if (t.kind == TileKind::Master) {
+      ++masters;
+    }
+    if (t.memory.totalBytes() > kMaxTileMemoryBytes) {
+      throw ModelError("tile " + t.name + " exceeds the memory limit");
+    }
+    if (t.kind != TileKind::HardwareIp && t.processorType.empty()) {
+      throw ModelError("tile " + t.name + " has no processor type");
+    }
+  }
+  if (masters > 1) {
+    throw ModelError("at most one master tile is allowed (peripherals are not shared)");
+  }
+  if (interconnect_ == InterconnectKind::NocMesh) {
+    if (noc_.rows == 0 || noc_.cols == 0) {
+      throw ModelError("NoC mesh dimensions must be positive");
+    }
+    if (static_cast<std::size_t>(noc_.rows) * noc_.cols < tiles_.size()) {
+      throw ModelError("NoC mesh is too small for the tile count");
+    }
+    if (noc_.wiresPerLink == 0) {
+      throw ModelError("NoC must have at least one wire per link");
+    }
+  }
+  if (interconnect_ == InterconnectKind::Fsl && fsl_.fifoDepthWords == 0) {
+    throw ModelError("FSL FIFO depth must be positive");
+  }
+}
+
+}  // namespace mamps::platform

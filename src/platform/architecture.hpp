@@ -1,0 +1,119 @@
+// The MAMPS architecture model (Section 4 of the paper).
+//
+// A platform consists of *tiles* and an *interconnect*. Tiles are the
+// processing elements; the interconnect only connects tiles. Every tile
+// and interconnect variant uses the same standardized network interface
+// (NI): 32-bit words over an FSL-compatible link, which keeps the
+// template composable (Section 4.1).
+//
+// Tile variants (Figure 3):
+//   - Master:     Microblaze PE + local memory + peripherals + NI
+//   - Slave:      Microblaze PE + local memory + NI (no peripherals)
+//   - CommAssist: Microblaze PE + CA handling (de)serialization + NI
+//   - HardwareIp: hardware actor connected directly to the NI
+//
+// Interconnect variants (Section 5.3.1):
+//   - Fsl:     Xilinx Fast Simplex Link point-to-point connections
+//   - NocMesh: Spatial-Division-Multiplex NoC, 2-D mesh of routers
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mamps::platform {
+
+using TileId = std::uint32_t;
+
+inline constexpr std::uint32_t kMaxTileMemoryBytes = 256 * 1024;  ///< 256 kB (Sec. 5.3.2)
+inline constexpr std::uint32_t kWordBytes = 4;                    ///< 32-bit NI words
+
+enum class TileKind { Master, Slave, CommAssist, HardwareIp };
+
+[[nodiscard]] std::string_view tileKindName(TileKind kind);
+[[nodiscard]] TileKind tileKindFromName(std::string_view name);
+
+/// Modified-Harvard memory configuration: separate instruction and data
+/// capacities (Section 3: memory requirements are specified separately
+/// to support Harvard-architecture PEs).
+struct MemorySpec {
+  std::uint32_t instrBytes = 64 * 1024;
+  std::uint32_t dataBytes = 64 * 1024;
+
+  [[nodiscard]] std::uint32_t totalBytes() const { return instrBytes + dataBytes; }
+};
+
+struct Tile {
+  std::string name;
+  TileKind kind = TileKind::Slave;
+  std::string processorType = "microblaze";  ///< matches ActorImplementation::processorType
+  MemorySpec memory;
+
+  [[nodiscard]] bool hasPeripherals() const { return kind == TileKind::Master; }
+  [[nodiscard]] bool hasCommAssist() const { return kind == TileKind::CommAssist; }
+};
+
+enum class InterconnectKind { Fsl, NocMesh };
+
+[[nodiscard]] std::string_view interconnectKindName(InterconnectKind kind);
+[[nodiscard]] InterconnectKind interconnectKindFromName(std::string_view name);
+
+/// Point-to-point FSL interconnect parameters ([15]).
+struct FslConfig {
+  std::uint32_t fifoDepthWords = 16;  ///< per-link FIFO capacity
+  std::uint32_t latencyCycles = 1;    ///< word latency through the link
+};
+
+/// SDM mesh NoC parameters ([17] + the flow-control extension).
+struct NocConfig {
+  std::uint32_t rows = 1;
+  std::uint32_t cols = 1;
+  std::uint32_t wiresPerLink = 32;          ///< SDM wires on every mesh link
+  std::uint32_t hopLatencyCycles = 3;       ///< router traversal latency
+  std::uint32_t connectionBufferWords = 4;  ///< buffering per connection (alpha_n)
+  bool flowControl = true;                  ///< credit-based flow control (MAMPS addition)
+};
+
+/// A complete platform description: the second input of the design flow.
+class Architecture {
+ public:
+  Architecture() = default;
+  explicit Architecture(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void setName(std::string name) { name_ = std::move(name); }
+
+  /// Add a tile; names must be unique, memory within the template limit.
+  TileId addTile(Tile tile);
+
+  [[nodiscard]] std::size_t tileCount() const { return tiles_.size(); }
+  [[nodiscard]] const Tile& tile(TileId id) const;
+  [[nodiscard]] const std::vector<Tile>& tiles() const { return tiles_; }
+  [[nodiscard]] std::optional<TileId> findTile(std::string_view name) const;
+
+  void setInterconnect(InterconnectKind kind) { interconnect_ = kind; }
+  [[nodiscard]] InterconnectKind interconnect() const { return interconnect_; }
+
+  [[nodiscard]] const FslConfig& fsl() const { return fsl_; }
+  [[nodiscard]] FslConfig& fsl() { return fsl_; }
+  [[nodiscard]] const NocConfig& noc() const { return noc_; }
+  [[nodiscard]] NocConfig& noc() { return noc_; }
+
+  /// Structural checks: at most one master tile (peripherals are not
+  /// shared across tiles, Section 4), NoC mesh large enough for all
+  /// tiles, memory limits respected.
+  void validate() const;
+
+ private:
+  std::string name_ = "mamps";
+  std::vector<Tile> tiles_;
+  InterconnectKind interconnect_ = InterconnectKind::Fsl;
+  FslConfig fsl_;
+  NocConfig noc_;
+};
+
+}  // namespace mamps::platform

@@ -1,0 +1,51 @@
+#include "platform/area.hpp"
+
+#include <cmath>
+
+namespace mamps::platform {
+
+std::uint32_t tileSlices(const Tile& tile, const AreaModel& model) {
+  std::uint32_t slices = model.networkInterfaceSlices;
+  switch (tile.kind) {
+    case TileKind::Master:
+      slices += model.microblazeSlices + model.peripheralSlices;
+      break;
+    case TileKind::Slave:
+      slices += model.microblazeSlices;
+      break;
+    case TileKind::CommAssist:
+      slices += model.microblazeSlices + model.commAssistSlices;
+      break;
+    case TileKind::HardwareIp:
+      slices += model.hardwareIpSlices;
+      break;
+  }
+  return slices;
+}
+
+std::uint32_t nocRouterSlices(const NocConfig& config, const AreaModel& model) {
+  const double base = model.nocRouterBaseSlices +
+                      static_cast<double>(model.nocRouterPerWireSlices) * config.wiresPerLink;
+  const double withFc = config.flowControl ? base * (1.0 + model.flowControlOverhead) : base;
+  return static_cast<std::uint32_t>(std::lround(withFc));
+}
+
+std::uint32_t interconnectSlices(const Architecture& arch, std::uint32_t fslLinkCount,
+                                 const AreaModel& model) {
+  if (arch.interconnect() == InterconnectKind::Fsl) {
+    return fslLinkCount * model.fslLinkSlices;
+  }
+  const NocConfig& noc = arch.noc();
+  return noc.rows * noc.cols * nocRouterSlices(noc, model);
+}
+
+std::uint32_t platformSlices(const Architecture& arch, std::uint32_t fslLinkCount,
+                             const AreaModel& model) {
+  std::uint32_t slices = interconnectSlices(arch, fslLinkCount, model);
+  for (const Tile& tile : arch.tiles()) {
+    slices += tileSlices(tile, model);
+  }
+  return slices;
+}
+
+}  // namespace mamps::platform

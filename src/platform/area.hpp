@@ -1,0 +1,50 @@
+// FPGA area model (Virtex-6 slice counts).
+//
+// The paper reports only one area number: adding flow control to the
+// SDM NoC of [17] cost approximately 12% more slices (Section 5.3.1).
+// The per-component constants below are ballpark figures for Virtex-6
+// soft cores; the *relative* flow-control overhead is the calibrated
+// quantity, reproduced by bench_noc_area.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/architecture.hpp"
+
+namespace mamps::platform {
+
+struct AreaModel {
+  // Tiles.
+  std::uint32_t microblazeSlices = 1400;   ///< Microblaze soft core
+  std::uint32_t peripheralSlices = 600;    ///< UART/timer/IO block (master tile)
+  std::uint32_t commAssistSlices = 800;    ///< CA of [13]
+  std::uint32_t networkInterfaceSlices = 150;
+  std::uint32_t hardwareIpSlices = 500;    ///< placeholder for an IP actor
+
+  // Interconnect.
+  std::uint32_t fslLinkSlices = 50;            ///< one Xilinx FSL
+  std::uint32_t nocRouterBaseSlices = 260;     ///< SDM router without flow control
+  std::uint32_t nocRouterPerWireSlices = 5;    ///< per SDM wire switching
+  /// Fraction of the router area added by the MAMPS flow-control
+  /// extension; the paper measured "approximately 12% more slices".
+  double flowControlOverhead = 0.12;
+};
+
+/// Slices of one tile (PE + NI + optional peripherals/CA); memories map
+/// to BRAM, not slices.
+[[nodiscard]] std::uint32_t tileSlices(const Tile& tile, const AreaModel& model = {});
+
+/// Slices of one NoC router with the given configuration.
+[[nodiscard]] std::uint32_t nocRouterSlices(const NocConfig& config, const AreaModel& model = {});
+
+/// Slices of the whole interconnect: `fslLinkCount` FSLs, or one router
+/// per mesh position.
+[[nodiscard]] std::uint32_t interconnectSlices(const Architecture& arch,
+                                               std::uint32_t fslLinkCount,
+                                               const AreaModel& model = {});
+
+/// Slices of the full platform (tiles + interconnect).
+[[nodiscard]] std::uint32_t platformSlices(const Architecture& arch, std::uint32_t fslLinkCount,
+                                           const AreaModel& model = {});
+
+}  // namespace mamps::platform

@@ -1,0 +1,82 @@
+#include "platform/io.hpp"
+
+#include <memory>
+
+#include "support/strings.hpp"
+#include "support/xml.hpp"
+
+namespace mamps::platform {
+
+std::string architectureToXml(const Architecture& arch) {
+  auto root = std::make_unique<xml::Element>("architecture");
+  root->setAttribute("name", arch.name());
+  root->setAttribute("interconnect", std::string(interconnectKindName(arch.interconnect())));
+
+  for (const Tile& t : arch.tiles()) {
+    xml::Element& te = root->addChild("tile");
+    te.setAttribute("name", t.name);
+    te.setAttribute("kind", std::string(tileKindName(t.kind)));
+    te.setAttribute("processorType", t.processorType);
+    te.setAttribute("instrMem", std::to_string(t.memory.instrBytes));
+    te.setAttribute("dataMem", std::to_string(t.memory.dataBytes));
+  }
+
+  if (arch.interconnect() == InterconnectKind::NocMesh) {
+    xml::Element& ne = root->addChild("noc");
+    ne.setAttribute("rows", std::to_string(arch.noc().rows));
+    ne.setAttribute("cols", std::to_string(arch.noc().cols));
+    ne.setAttribute("wiresPerLink", std::to_string(arch.noc().wiresPerLink));
+    ne.setAttribute("hopLatency", std::to_string(arch.noc().hopLatencyCycles));
+    ne.setAttribute("connectionBuffer", std::to_string(arch.noc().connectionBufferWords));
+    ne.setAttribute("flowControl", arch.noc().flowControl ? "true" : "false");
+  } else {
+    xml::Element& fe = root->addChild("fsl");
+    fe.setAttribute("fifoDepth", std::to_string(arch.fsl().fifoDepthWords));
+    fe.setAttribute("latency", std::to_string(arch.fsl().latencyCycles));
+  }
+  return xml::Document(std::move(root)).toString();
+}
+
+Architecture architectureFromString(const std::string& text) {
+  const xml::Document doc = xml::parse(text);
+  const xml::Element& root = doc.root();
+  if (root.name() != "architecture") {
+    throw ParseError("expected <architecture>, found <" + root.name() + ">");
+  }
+  Architecture arch(std::string(root.attribute("name").value_or("mamps")));
+  arch.setInterconnect(interconnectKindFromName(root.requiredAttribute("interconnect")));
+
+  for (const xml::Element* te : root.childrenNamed("tile")) {
+    Tile tile;
+    tile.name = std::string(te->requiredAttribute("name"));
+    tile.kind = tileKindFromName(te->requiredAttribute("kind"));
+    tile.processorType = std::string(te->attribute("processorType").value_or("microblaze"));
+    tile.memory.instrBytes =
+        static_cast<std::uint32_t>(parseU64(te->attribute("instrMem").value_or("65536")));
+    tile.memory.dataBytes =
+        static_cast<std::uint32_t>(parseU64(te->attribute("dataMem").value_or("65536")));
+    arch.addTile(std::move(tile));
+  }
+
+  if (const xml::Element* ne = root.firstChild("noc")) {
+    arch.noc().rows = static_cast<std::uint32_t>(parseU64(ne->requiredAttribute("rows")));
+    arch.noc().cols = static_cast<std::uint32_t>(parseU64(ne->requiredAttribute("cols")));
+    arch.noc().wiresPerLink =
+        static_cast<std::uint32_t>(parseU64(ne->attribute("wiresPerLink").value_or("32")));
+    arch.noc().hopLatencyCycles =
+        static_cast<std::uint32_t>(parseU64(ne->attribute("hopLatency").value_or("3")));
+    arch.noc().connectionBufferWords =
+        static_cast<std::uint32_t>(parseU64(ne->attribute("connectionBuffer").value_or("4")));
+    arch.noc().flowControl = ne->attribute("flowControl").value_or("true") == "true";
+  }
+  if (const xml::Element* fe = root.firstChild("fsl")) {
+    arch.fsl().fifoDepthWords =
+        static_cast<std::uint32_t>(parseU64(fe->attribute("fifoDepth").value_or("16")));
+    arch.fsl().latencyCycles =
+        static_cast<std::uint32_t>(parseU64(fe->attribute("latency").value_or("1")));
+  }
+  arch.validate();
+  return arch;
+}
+
+}  // namespace mamps::platform

@@ -1,0 +1,16 @@
+// XML (de)serialization of architecture models.
+#pragma once
+
+#include <string>
+
+#include "platform/architecture.hpp"
+
+namespace mamps::platform {
+
+/// Serialize an architecture as an <architecture> document.
+[[nodiscard]] std::string architectureToXml(const Architecture& arch);
+
+/// Parse an architecture from a document string.
+[[nodiscard]] Architecture architectureFromString(const std::string& text);
+
+}  // namespace mamps::platform

@@ -1,0 +1,98 @@
+// SDM mesh NoC topology: router placement, XY routing, and per-link
+// wire accounting (Section 5.3.1, based on [17]).
+//
+// The NoC has one router per tile, arranged in a 2-D mesh kept as close
+// to square as possible. Connections are programmed point-to-point; a
+// connection is assigned a number of wires on every link along its
+// route, and a wire belongs to at most one connection at a time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "platform/architecture.hpp"
+
+namespace mamps::platform {
+
+/// Position of a router in the mesh.
+struct MeshCoord {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+
+  bool operator==(const MeshCoord&) const = default;
+};
+
+/// One directed mesh link between adjacent routers.
+struct NocLink {
+  std::uint32_t fromRouter = 0;
+  std::uint32_t toRouter = 0;
+};
+
+using LinkId = std::uint32_t;
+
+/// Near-square mesh dimensions for `n` routers: rows = floor(sqrt(n)),
+/// cols = ceil(n / rows). This minimizes the maximum hop distance,
+/// which relates directly to connection latency (Section 5.3.1).
+[[nodiscard]] std::pair<std::uint32_t, std::uint32_t> nearSquareMesh(std::uint32_t n);
+
+/// The static topology derived from a NocConfig: routers, links, routes.
+class NocTopology {
+ public:
+  explicit NocTopology(const NocConfig& config);
+
+  [[nodiscard]] std::uint32_t routerCount() const { return config_.rows * config_.cols; }
+  [[nodiscard]] const NocConfig& config() const { return config_; }
+
+  [[nodiscard]] MeshCoord coordOf(std::uint32_t router) const;
+  [[nodiscard]] std::uint32_t routerAt(MeshCoord c) const;
+
+  [[nodiscard]] std::size_t linkCount() const { return links_.size(); }
+  [[nodiscard]] const NocLink& link(LinkId id) const;
+  [[nodiscard]] const std::vector<NocLink>& links() const { return links_; }
+  /// The directed link between two adjacent routers.
+  [[nodiscard]] LinkId linkBetween(std::uint32_t fromRouter, std::uint32_t toRouter) const;
+
+  /// Dimension-ordered (XY) route between two routers: the sequence of
+  /// directed links traversed. Empty when src == dst.
+  [[nodiscard]] std::vector<LinkId> xyRoute(std::uint32_t srcRouter,
+                                            std::uint32_t dstRouter) const;
+
+  /// Manhattan distance in hops.
+  [[nodiscard]] std::uint32_t hopDistance(std::uint32_t srcRouter,
+                                          std::uint32_t dstRouter) const;
+
+ private:
+  NocConfig config_;
+  std::vector<NocLink> links_;
+  // linkIndex_[from][direction] would be denser; a flat search keeps it simple.
+};
+
+/// Tracks SDM wire usage per link and admits/releases connections.
+/// A connection reserving `wires` wires claims them on every link of its
+/// route; words are transmitted bit-serially over the reserved wires, so
+/// one 32-bit word takes ceil(32 / wires) cycles on the narrowest hop.
+class WireAllocator {
+ public:
+  explicit WireAllocator(const NocTopology& topology);
+
+  /// Reserve `wires` wires along `route`; returns false (and changes
+  /// nothing) when any link lacks capacity.
+  [[nodiscard]] bool reserve(const std::vector<LinkId>& route, std::uint32_t wires);
+
+  /// Release a previous reservation.
+  void release(const std::vector<LinkId>& route, std::uint32_t wires);
+
+  [[nodiscard]] std::uint32_t freeWires(LinkId link) const;
+  [[nodiscard]] std::uint32_t usedWires(LinkId link) const;
+
+  /// Cycles needed to move one 32-bit word over `wires` reserved wires.
+  [[nodiscard]] static std::uint32_t cyclesPerWord(std::uint32_t wires);
+
+ private:
+  const NocTopology* topology_;
+  std::vector<std::uint32_t> used_;  // per link
+};
+
+}  // namespace mamps::platform

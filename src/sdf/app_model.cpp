@@ -1,0 +1,108 @@
+#include "sdf/app_model.hpp"
+
+#include <algorithm>
+
+namespace mamps::sdf {
+
+ApplicationModel::ApplicationModel(Graph graph) : graph_(std::move(graph)) { resync(); }
+
+void ApplicationModel::resync() {
+  actors_.resize(graph_.actorCount());
+  const std::size_t oldChannels = implicit_.size();
+  implicit_.resize(graph_.channelCount(), false);
+  for (std::size_t c = oldChannels; c < graph_.channelCount(); ++c) {
+    implicit_[c] = graph_.channel(static_cast<ChannelId>(c)).isSelfEdge();
+  }
+}
+
+void ApplicationModel::addImplementation(ActorId actor, ActorImplementation impl) {
+  if (actor >= graph_.actorCount()) {
+    throw ModelError("addImplementation: actor id out of range");
+  }
+  const Actor& a = graph_.actor(actor);
+  for (const ChannelId c : impl.argumentChannels) {
+    const bool incident = std::find(a.inputs.begin(), a.inputs.end(), c) != a.inputs.end() ||
+                          std::find(a.outputs.begin(), a.outputs.end(), c) != a.outputs.end();
+    if (!incident) {
+      throw ModelError("implementation '" + impl.functionName + "' references channel " +
+                       std::to_string(c) + " not incident to actor " + a.name);
+    }
+  }
+  if (impl.functionName.empty()) {
+    throw ModelError("implementation for actor " + a.name + " has no function name");
+  }
+  actors_[actor].implementations.push_back(std::move(impl));
+}
+
+const std::vector<ActorImplementation>& ApplicationModel::implementations(ActorId actor) const {
+  if (actor >= actors_.size()) {
+    throw ModelError("implementations: actor id out of range");
+  }
+  return actors_[actor].implementations;
+}
+
+const ActorImplementation* ApplicationModel::implementationFor(
+    ActorId actor, std::string_view processorType) const {
+  for (const ActorImplementation& impl : implementations(actor)) {
+    if (impl.processorType == processorType) {
+      return &impl;
+    }
+  }
+  return nullptr;
+}
+
+void ApplicationModel::setImplicit(ChannelId channel, bool implicit) {
+  if (channel >= implicit_.size()) {
+    throw ModelError("setImplicit: channel id out of range");
+  }
+  implicit_[channel] = implicit;
+}
+
+bool ApplicationModel::isImplicit(ChannelId channel) const {
+  if (channel >= implicit_.size()) {
+    throw ModelError("isImplicit: channel id out of range");
+  }
+  return implicit_[channel];
+}
+
+void ApplicationModel::setThroughputConstraint(Rational iterationsPerCycle) {
+  if (iterationsPerCycle < Rational(0)) {
+    throw ModelError("throughput constraint must be non-negative");
+  }
+  throughputConstraint_ = iterationsPerCycle;
+}
+
+std::vector<std::uint64_t> ApplicationModel::wcetVector(std::string_view processorType) const {
+  std::vector<std::uint64_t> out(graph_.actorCount(), 0);
+  for (ActorId a = 0; a < graph_.actorCount(); ++a) {
+    const ActorImplementation* impl = implementationFor(a, processorType);
+    if (impl == nullptr) {
+      throw ModelError("actor " + graph_.actor(a).name + " has no implementation for '" +
+                       std::string(processorType) + "'");
+    }
+    out[a] = impl->wcetCycles;
+  }
+  return out;
+}
+
+void ApplicationModel::validate() const {
+  graph_.validate();
+  if (actors_.size() != graph_.actorCount() || implicit_.size() != graph_.channelCount()) {
+    throw ModelError("application model is out of sync with its graph (call resync)");
+  }
+  for (ActorId a = 0; a < graph_.actorCount(); ++a) {
+    if (actors_[a].implementations.empty()) {
+      throw ModelError("actor " + graph_.actor(a).name + " has no implementation");
+    }
+    for (const ActorImplementation& impl : actors_[a].implementations) {
+      for (const ChannelId c : impl.argumentChannels) {
+        if (isImplicit(c)) {
+          throw ModelError("implementation '" + impl.functionName +
+                           "' uses implicit channel as argument: " + graph_.channel(c).name);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mamps::sdf

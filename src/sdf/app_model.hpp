@@ -1,0 +1,91 @@
+// The application model of the flow (Section 3 of the paper).
+//
+// It joins the SDF graph with, per actor, one or more *implementations*
+// (one per processor type the actor can run on), each carrying:
+//   - the C function name of the actor implementation,
+//   - the WCET in clock cycles,
+//   - instruction- and data-memory requirements (specified separately to
+//     support Harvard-architecture processing elements),
+//   - the relation between function arguments and *explicit* edges.
+// Channels are classified explicit (implemented as function parameters,
+// transferring data) or implicit (self-edges modeling state, buffer
+// capacity limits, or static-order constraints).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sdf/graph.hpp"
+#include "support/rational.hpp"
+
+namespace mamps::sdf {
+
+/// One implementation of an actor for one processor type.
+struct ActorImplementation {
+  std::string functionName;      ///< C symbol of the actor function
+  std::string initFunctionName;  ///< optional _init function ("" = none)
+  std::string processorType;     ///< e.g. "microblaze"
+  std::uint64_t wcetCycles = 0;  ///< worst-case execution time per firing
+  std::uint32_t instrMemBytes = 0;
+  std::uint32_t dataMemBytes = 0;
+  /// Function-argument order: the k-th argument corresponds to this
+  /// explicit channel. Implicit channels never appear here.
+  std::vector<ChannelId> argumentChannels;
+};
+
+/// Per-actor metadata: the set of alternative implementations.
+struct ActorMetadata {
+  std::vector<ActorImplementation> implementations;
+};
+
+/// The complete application model: graph + implementations + constraint.
+class ApplicationModel {
+ public:
+  ApplicationModel() = default;
+  explicit ApplicationModel(Graph graph);
+
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] Graph& graph() { return graph_; }
+
+  /// Register an implementation for `actor`. The argument channels must
+  /// be explicit channels incident to the actor.
+  void addImplementation(ActorId actor, ActorImplementation impl);
+
+  [[nodiscard]] const std::vector<ActorImplementation>& implementations(ActorId actor) const;
+
+  /// The implementation of `actor` for `processorType`, or nullptr.
+  [[nodiscard]] const ActorImplementation* implementationFor(ActorId actor,
+                                                             std::string_view processorType) const;
+
+  /// Mark a channel implicit (no function argument; state/constraint
+  /// modeling only). Self-edges are implicit by default.
+  void setImplicit(ChannelId channel, bool implicit);
+  [[nodiscard]] bool isImplicit(ChannelId channel) const;
+  [[nodiscard]] bool isExplicit(ChannelId channel) const { return !isImplicit(channel); }
+
+  /// Minimum required throughput in graph iterations per clock cycle.
+  void setThroughputConstraint(Rational iterationsPerCycle);
+  [[nodiscard]] const Rational& throughputConstraint() const { return throughputConstraint_; }
+
+  /// WCET vector for a homogeneous platform of the given processor type;
+  /// throws ModelError when an actor lacks an implementation for it.
+  [[nodiscard]] std::vector<std::uint64_t> wcetVector(std::string_view processorType) const;
+
+  /// Every actor has at least one implementation, argument channels are
+  /// explicit and incident; throws ModelError otherwise.
+  void validate() const;
+
+  /// Keep metadata arrays in sync after actors/channels were added
+  /// directly on the graph.
+  void resync();
+
+ private:
+  Graph graph_;
+  std::vector<ActorMetadata> actors_;   // by ActorId
+  std::vector<bool> implicit_;          // by ChannelId
+  Rational throughputConstraint_ = Rational(0);
+};
+
+}  // namespace mamps::sdf

@@ -1,0 +1,131 @@
+#include "sdf/hsdf.hpp"
+
+#include "sdf/repetition_vector.hpp"
+
+namespace mamps::sdf {
+
+HsdfExpansion toHsdf(const TimedGraph& timed) {
+  const Graph& g = timed.graph;
+  const auto qOpt = computeRepetitionVector(g);
+  if (!qOpt) {
+    throw AnalysisError("toHsdf: graph '" + g.name() + "' is inconsistent");
+  }
+  const auto& q = *qOpt;
+
+  HsdfExpansion out;
+  out.hsdf.graph.setName(g.name() + "_hsdf");
+
+  // Create q[a] copies of each actor.
+  std::vector<std::vector<ActorId>> copies(g.actorCount());
+  for (ActorId a = 0; a < g.actorCount(); ++a) {
+    copies[a].reserve(q[a]);
+    for (std::uint64_t i = 0; i < q[a]; ++i) {
+      const ActorId id =
+          out.hsdf.graph.addActor(g.actor(a).name + "_" + std::to_string(i));
+      copies[a].push_back(id);
+      out.originalActor.push_back(a);
+      out.firingIndex.push_back(static_cast<std::uint32_t>(i));
+      out.hsdf.execTime.push_back(timed.execTime.at(a));
+      if (!timed.maxConcurrent.empty()) {
+        out.hsdf.maxConcurrent.push_back(timed.concurrencyLimit(a));
+      }
+    }
+  }
+
+  // Expand channels token by token. The k-th token consumed by firing j
+  // of the destination (global consumption index n = j*cons + k) is the
+  // token at position n in the stream. Tokens 0..d-1 are the initial
+  // tokens; token n >= d was produced as the (n-d)-th produced token,
+  // i.e. by source firing floor((n-d)/prod). Producer firing index i
+  // maps to copy i mod q[src] with iteration distance floor(i/q[src]);
+  // similarly for the consumer. The HSDF edge gets
+  //   delay = consumerIteration - producerIteration   (>= 0)
+  // where producer iteration is negative for initial tokens.
+  for (const Channel& c : g.channels()) {
+    const std::uint64_t prod = c.prodRate;
+    const std::uint64_t cons = c.consRate;
+    const std::uint64_t d = c.initialTokens;
+    const std::uint64_t qDst = q[c.dst];
+    const std::uint64_t qSrc = q[c.src];
+
+    for (std::uint64_t j = 0; j < qDst; ++j) {       // consumer firing in iteration 0
+      for (std::uint64_t k = 0; k < cons; ++k) {     // token index within the firing
+        const std::uint64_t n = j * cons + k;        // global consumption position
+        std::uint64_t srcCopy = 0;
+        std::uint64_t delay = 0;
+        if (n < d) {
+          // Initial token: produced "before time"; attribute it to the
+          // source copy that would have produced it in iteration -m.
+          // Position from the end of the initial tokens:
+          const std::uint64_t fromEnd = d - 1 - n;           // 0 = newest initial token
+          const std::uint64_t prodIdxBack = fromEnd / prod;  // firings back from iteration 0
+          const std::uint64_t iterBack = prodIdxBack / qSrc + 1;
+          const std::uint64_t copyBack = prodIdxBack % qSrc;
+          srcCopy = (qSrc - 1) - copyBack;
+          delay = iterBack;
+        } else {
+          const std::uint64_t p = (n - d) / prod;  // producing firing (iteration 0 based)
+          srcCopy = p % qSrc;
+          delay = 0;
+          // If the producing firing lands in a later iteration than 0 it
+          // cannot — p < qSrc * prod tokens needed... p ranges within one
+          // iteration because n-d < qDst*cons == qSrc*prod.
+          (void)0;
+        }
+        ChannelSpec spec;
+        spec.src = copies[c.src][srcCopy];
+        spec.dst = copies[c.dst][j];
+        spec.prodRate = 1;
+        spec.consRate = 1;
+        spec.initialTokens = delay;
+        spec.tokenSizeBytes = c.tokenSizeBytes;
+        spec.name = c.name + "_n" + std::to_string(n);
+        out.hsdf.graph.connect(spec);
+      }
+    }
+  }
+
+  // Sequence constraint: firings of the same actor within an iteration
+  // execute in order (firing i+1 cannot start before firing i of the
+  // same iteration when auto-concurrency is disabled). The classical
+  // conversion adds a cycle through the copies with one initial token on
+  // the wrap-around edge. We add it only for actors with q > 1; actors
+  // whose self-concurrency is already limited by a self-edge keep that
+  // limit through the channel expansion above.
+  for (ActorId a = 0; a < g.actorCount(); ++a) {
+    if (timed.concurrencyLimit(a) != 1) {
+      // Actors with relaxed self-concurrency (e.g. the pipelined latency
+      // stage of the communication model) get no sequence constraint;
+      // their in-flight work is bounded by explicit back-edges instead.
+      continue;
+    }
+    if (q[a] == 1) {
+      // Degenerate cycle: a self-edge with one token forbids a firing of
+      // iteration m+1 from overlapping the firing of iteration m.
+      ChannelSpec spec;
+      spec.src = copies[a][0];
+      spec.dst = copies[a][0];
+      spec.prodRate = 1;
+      spec.consRate = 1;
+      spec.initialTokens = 1;
+      spec.name = g.actor(a).name + "_seq0";
+      out.hsdf.graph.connect(spec);
+      continue;
+    }
+    for (std::uint64_t i = 0; i < q[a]; ++i) {
+      const std::uint64_t nextIdx = (i + 1) % q[a];
+      ChannelSpec spec;
+      spec.src = copies[a][i];
+      spec.dst = copies[a][nextIdx];
+      spec.prodRate = 1;
+      spec.consRate = 1;
+      spec.initialTokens = (nextIdx == 0) ? 1 : 0;
+      spec.name = g.actor(a).name + "_seq" + std::to_string(i);
+      out.hsdf.graph.connect(spec);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace mamps::sdf

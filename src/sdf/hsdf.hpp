@@ -1,0 +1,31 @@
+// SDF to HSDF (homogeneous SDF) conversion.
+//
+// Every actor a of the SDF graph is expanded into q[a] copies, one per
+// firing within an iteration; every channel is expanded into token-level
+// dependencies between specific firings using the standard construction
+// (Sriram & Bhattacharyya). All rates in the result are 1, so the
+// resulting graph can be analyzed with maximum-cycle-ratio techniques.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace mamps::sdf {
+
+/// Result of expanding an SDF graph into its homogeneous equivalent.
+struct HsdfExpansion {
+  TimedGraph hsdf;
+  /// hsdf actor id -> original SDF actor id
+  std::vector<ActorId> originalActor;
+  /// hsdf actor id -> firing index within the iteration (0..q[a]-1)
+  std::vector<std::uint32_t> firingIndex;
+};
+
+/// Expand `timed` into an equivalent HSDF graph. Throws AnalysisError
+/// when the graph is inconsistent. The conversion preserves the
+/// self-timed throughput of every actor.
+[[nodiscard]] HsdfExpansion toHsdf(const TimedGraph& timed);
+
+}  // namespace mamps::sdf

@@ -1,0 +1,34 @@
+// XML (de)serialization of SDF graphs and application models.
+//
+// The format is the common interchange format of the flow (Section 2 of
+// the paper stresses that mapping and platform generation consume the
+// same input files, removing manual translation steps).
+#pragma once
+
+#include <string>
+
+#include "sdf/app_model.hpp"
+#include "sdf/graph.hpp"
+#include "support/xml.hpp"
+
+namespace mamps::sdf {
+
+/// Serialize a graph as an <sdfGraph> element string.
+[[nodiscard]] std::string graphToXml(const Graph& g);
+
+/// Parse a graph from an <sdfGraph> element.
+[[nodiscard]] Graph graphFromXml(const xml::Element& element);
+
+/// Parse a graph from a document string.
+[[nodiscard]] Graph graphFromString(const std::string& text);
+
+/// Serialize the complete application model (<applicationModel>).
+[[nodiscard]] std::string applicationModelToXml(const ApplicationModel& model);
+
+/// Parse an application model from a document string.
+[[nodiscard]] ApplicationModel applicationModelFromString(const std::string& text);
+
+/// Parse an application model from a file.
+[[nodiscard]] ApplicationModel applicationModelFromFile(const std::string& path);
+
+}  // namespace mamps::sdf

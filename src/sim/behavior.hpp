@@ -1,0 +1,59 @@
+// Functional actor behaviors for the platform simulator.
+//
+// The simulator executes the *real* actor implementations: a behavior
+// receives the payload bytes of its input tokens and must produce the
+// payload bytes of its output tokens, exactly like the C actor functions
+// of the generated platform (Listing 1). The returned value is the
+// firing's execution time in clock cycles — the behavior's cost model
+// plays the role of the cycle counter on the FPGA.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace mamps::sim {
+
+/// One token's payload.
+using Token = std::vector<std::uint8_t>;
+
+/// Inputs/outputs of one firing, ordered like the *explicit* channels in
+/// the actor's graph port order (inputs first by channel id order, then
+/// outputs). Each entry holds rate-many tokens.
+struct FiringData {
+  std::vector<std::vector<Token>> inputs;   ///< [explicit input idx][token]
+  std::vector<std::vector<Token>> outputs;  ///< [explicit output idx][token], pre-sized
+};
+
+class ActorBehavior {
+ public:
+  virtual ~ActorBehavior() = default;
+
+  /// Execute one firing; fill `data.outputs`; return the execution time
+  /// of this firing in cycles (excluding any (de)serialization, which
+  /// the platform adds according to the serialization mode).
+  virtual std::uint64_t fire(FiringData& data) = 0;
+
+  /// Payload of the initial tokens this actor's *output* channel starts
+  /// with (the actor_X_init() function of Listing 1). Default: zeroed.
+  virtual std::vector<Token> initialTokens(sdf::ChannelId /*channel*/, std::uint64_t count,
+                                           std::uint32_t tokenSizeBytes) {
+    return std::vector<Token>(count, Token(tokenSizeBytes, 0));
+  }
+};
+
+/// A behavior with a fixed cost and zeroed outputs — the default for
+/// timing-only simulations.
+class ConstantCostBehavior : public ActorBehavior {
+ public:
+  explicit ConstantCostBehavior(std::uint64_t cycles) : cycles_(cycles) {}
+
+  std::uint64_t fire(FiringData& /*data*/) override { return cycles_; }
+
+ private:
+  std::uint64_t cycles_;
+};
+
+}  // namespace mamps::sim

@@ -1,0 +1,365 @@
+#include "sim/platform_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "comm/params.hpp"
+#include "mapping/binding_aware.hpp"
+#include "sdf/repetition_vector.hpp"
+
+namespace mamps::sim {
+
+using mapping::BindingAwareModel;
+using sdf::ActorId;
+using sdf::ChannelId;
+
+struct PlatformSim::Impl {
+  sdf::ApplicationModel app;
+  platform::Architecture arch;
+  mapping::Mapping mapping;
+  BindingAwareModel model;  ///< structure + comm-actor timing (WCET-based)
+
+  std::vector<std::unique_ptr<ActorBehavior>> behaviors;  // per original actor
+  std::vector<std::uint64_t> serOverhead;  ///< PE-mode (de)serialization cycles per firing
+  std::vector<std::vector<ChannelId>> explicitIns;   // per original actor
+  std::vector<std::vector<ChannelId>> explicitOuts;  // per original actor
+
+  Impl(const sdf::ApplicationModel& appIn, const platform::Architecture& archIn,
+       const mapping::Mapping& mappingIn)
+      : app(appIn), arch(archIn), mapping(mappingIn) {
+    // The binding-aware model provides the executable structure; the
+    // original-actor execution times in it are WCETs and are replaced by
+    // behavior costs at run time.
+    std::vector<std::uint64_t> wcet(app.graph().actorCount());
+    for (ActorId a = 0; a < app.graph().actorCount(); ++a) {
+      const auto* impl =
+          app.implementationFor(a, arch.tile(mapping.actorToTile.at(a)).processorType);
+      if (impl == nullptr) {
+        throw ModelError("PlatformSim: actor " + app.graph().actor(a).name +
+                         " lacks an implementation for its tile");
+      }
+      wcet[a] = impl->wcetCycles;
+    }
+    model = mapping::buildBindingAware(app, arch, mapping, wcet);
+
+    behaviors.resize(app.graph().actorCount());
+    for (ActorId a = 0; a < app.graph().actorCount(); ++a) {
+      behaviors[a] = std::make_unique<ConstantCostBehavior>(wcet[a]);
+    }
+
+    // PE-mode serialization overhead per firing (matches buildBindingAware).
+    serOverhead.assign(app.graph().actorCount(), 0);
+    if (mapping.serialization == comm::SerializationMode::OnProcessor) {
+      const comm::SerializationCost cost = comm::processorSerializationCost();
+      for (ChannelId c = 0; c < app.graph().channelCount(); ++c) {
+        if (!mapping.channelRoutes.at(c).interTile) {
+          continue;
+        }
+        const sdf::Channel& channel = app.graph().channel(c);
+        const std::uint32_t n = comm::wordsPerToken(channel.tokenSizeBytes);
+        serOverhead[channel.src] += std::uint64_t{channel.prodRate} * cost.cycles(n);
+        serOverhead[channel.dst] += std::uint64_t{channel.consRate} * cost.cycles(n);
+      }
+    }
+
+    explicitIns.resize(app.graph().actorCount());
+    explicitOuts.resize(app.graph().actorCount());
+    for (ActorId a = 0; a < app.graph().actorCount(); ++a) {
+      for (const ChannelId c : app.graph().actor(a).inputs) {
+        if (app.isExplicit(c)) {
+          explicitIns[a].push_back(c);
+        }
+      }
+      for (const ChannelId c : app.graph().actor(a).outputs) {
+        if (app.isExplicit(c)) {
+          explicitOuts[a].push_back(c);
+        }
+      }
+    }
+  }
+};
+
+PlatformSim::PlatformSim(const sdf::ApplicationModel& app, const platform::Architecture& arch,
+                         const mapping::Mapping& mapping)
+    : impl_(std::make_unique<Impl>(app, arch, mapping)) {}
+
+PlatformSim::~PlatformSim() = default;
+
+void PlatformSim::setBehavior(ActorId actor, std::unique_ptr<ActorBehavior> behavior) {
+  if (actor >= impl_->behaviors.size()) {
+    throw ModelError("PlatformSim::setBehavior: actor id out of range");
+  }
+  if (behavior == nullptr) {
+    throw ModelError("PlatformSim::setBehavior: null behavior");
+  }
+  impl_->behaviors[actor] = std::move(behavior);
+}
+
+namespace {
+
+/// The event-driven execution engine. It runs the binding-aware
+/// structure (graph + resources) exactly like the worst-case analysis
+/// does, but with per-firing costs from the functional behaviors and
+/// byte-accurate payload transport alongside the token counting.
+class Engine {
+ public:
+  Engine(PlatformSim::Impl& impl, const SimOptions& options)
+      : impl_(impl),
+        graph_(impl.model.graph.graph),
+        options_(options),
+        originalActors_(impl.app.graph().actorCount()) {
+    tokens_.resize(graph_.channelCount());
+    for (ChannelId c = 0; c < graph_.channelCount(); ++c) {
+      tokens_[c] = graph_.channel(c).initialTokens;
+    }
+    remaining_.resize(graph_.actorCount());
+    pendingOutputs_.resize(originalActors_);
+    const auto& resources = impl_.model.resources;
+    schedulePos_.assign(resources.staticOrder.size(), 0);
+    resourceBusy_.assign(resources.staticOrder.size(), 0);
+
+    // Payload queues per original explicit channel; initial tokens get
+    // payloads from the source actor's init function.
+    payloads_.resize(impl_.app.graph().channelCount());
+    for (ChannelId c = 0; c < impl_.app.graph().channelCount(); ++c) {
+      const sdf::Channel& channel = impl_.app.graph().channel(c);
+      if (!impl_.app.isExplicit(c) || channel.initialTokens == 0) {
+        continue;
+      }
+      auto initial = impl_.behaviors[channel.src]->initialTokens(c, channel.initialTokens,
+                                                                 channel.tokenSizeBytes);
+      if (initial.size() != channel.initialTokens) {
+        throw ModelError("initialTokens produced wrong count for channel " + channel.name);
+      }
+      for (auto& t : initial) {
+        t.resize(channel.tokenSizeBytes);
+        payloads_[c].push_back(std::move(t));
+      }
+    }
+
+    result_.maxFiringCycles.assign(originalActors_, 0);
+    result_.totalFiringCycles.assign(originalActors_, 0);
+    result_.firings.assign(originalActors_, 0);
+    result_.interTileBytes.assign(impl_.app.graph().channelCount(), 0);
+    qRef_ = computeQRef();
+  }
+
+  SimResult run() {
+    const std::uint64_t warmupFirings = options_.warmupIterations * qRef_;
+    const std::uint64_t endFirings =
+        (options_.warmupIterations + options_.measureIterations) * qRef_;
+
+    while (now_ <= options_.maxCycles) {
+      settleInstant();
+      if (refCompletions_ >= warmupFirings && measureStart_ == kUnset) {
+        measureStart_ = now_;
+      }
+      if (refCompletions_ >= endFirings) {
+        result_.status = SimResult::Status::Ok;
+        result_.measuredCycles = now_ - measureStart_;
+        result_.measuredIterations = options_.measureIterations;
+        break;
+      }
+      const bool anyOngoing = std::any_of(remaining_.begin(), remaining_.end(),
+                                          [](const auto& r) { return !r.empty(); });
+      if (!anyOngoing) {
+        result_.status = SimResult::Status::Deadlock;
+        break;
+      }
+      advanceTime();
+    }
+    result_.totalCycles = now_;
+    return std::move(result_);
+  }
+
+ private:
+  static constexpr std::uint64_t kUnset = std::numeric_limits<std::uint64_t>::max();
+
+  [[nodiscard]] std::uint64_t computeQRef() const {
+    const auto q = sdf::computeRepetitionVector(impl_.app.graph());
+    if (!q) {
+      throw ModelError("PlatformSim: inconsistent application graph");
+    }
+    return (*q)[0];
+  }
+
+  [[nodiscard]] std::uint32_t resourceOf(ActorId a) const {
+    return a < impl_.model.resources.actorResource.size()
+               ? impl_.model.resources.actorResource[a]
+               : analysis::ResourceConstraints::kUnbound;
+  }
+
+  [[nodiscard]] bool isReady(ActorId a) const {
+    const std::uint32_t limit = impl_.model.graph.concurrencyLimit(a);
+    if (limit != 0 && remaining_[a].size() >= limit) {
+      return false;
+    }
+    const std::uint32_t res = resourceOf(a);
+    if (res != analysis::ResourceConstraints::kUnbound) {
+      if (resourceBusy_[res] != 0) {
+        return false;
+      }
+      const auto& order = impl_.model.resources.staticOrder[res];
+      if (order[schedulePos_[res]] != a) {
+        return false;
+      }
+    }
+    for (const ChannelId c : graph_.actor(a).inputs) {
+      if (tokens_[c] < graph_.channel(c).consRate) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void startFiring(ActorId a) {
+    for (const ChannelId c : graph_.actor(a).inputs) {
+      tokens_[c] -= graph_.channel(c).consRate;
+    }
+    std::uint64_t cost = 0;
+    if (a < originalActors_) {
+      cost = runBehavior(a) + impl_.serOverhead[a];
+    } else {
+      cost = impl_.model.graph.execTime[a];
+    }
+    auto& r = remaining_[a];
+    r.insert(std::upper_bound(r.begin(), r.end(), cost), cost);
+    const std::uint32_t res = resourceOf(a);
+    if (res != analysis::ResourceConstraints::kUnbound) {
+      ++resourceBusy_[res];
+      schedulePos_[res] =
+          (schedulePos_[res] + 1) % impl_.model.resources.staticOrder[res].size();
+    }
+  }
+
+  /// Execute the functional behavior: pop input payloads, produce output
+  /// payloads (buffered until the firing completes), return the cost.
+  std::uint64_t runBehavior(ActorId a) {
+    const sdf::Graph& appGraph = impl_.app.graph();
+    FiringData data;
+    data.inputs.resize(impl_.explicitIns[a].size());
+    for (std::size_t i = 0; i < impl_.explicitIns[a].size(); ++i) {
+      const ChannelId c = impl_.explicitIns[a][i];
+      const std::uint32_t rate = appGraph.channel(c).consRate;
+      auto& queue = payloads_[c];
+      if (queue.size() < rate) {
+        throw ModelError("payload underflow on channel " + appGraph.channel(c).name);
+      }
+      for (std::uint32_t k = 0; k < rate; ++k) {
+        data.inputs[i].push_back(std::move(queue.front()));
+        queue.pop_front();
+      }
+    }
+    data.outputs.resize(impl_.explicitOuts[a].size());
+    for (std::size_t i = 0; i < impl_.explicitOuts[a].size(); ++i) {
+      const ChannelId c = impl_.explicitOuts[a][i];
+      data.outputs[i].assign(appGraph.channel(c).prodRate,
+                             Token(appGraph.channel(c).tokenSizeBytes, 0));
+    }
+    const std::uint64_t cost = impl_.behaviors[a]->fire(data);
+
+    result_.maxFiringCycles[a] = std::max(result_.maxFiringCycles[a], cost);
+    result_.totalFiringCycles[a] += cost;
+    ++result_.firings[a];
+
+    // Stash outputs; delivered at completion (SDF produce-at-end).
+    auto& pending = pendingOutputs_[a];
+    pending.clear();
+    for (std::size_t i = 0; i < impl_.explicitOuts[a].size(); ++i) {
+      const ChannelId c = impl_.explicitOuts[a][i];
+      for (auto& token : data.outputs[i]) {
+        token.resize(appGraph.channel(c).tokenSizeBytes);
+        pending.emplace_back(c, std::move(token));
+      }
+    }
+    return cost;
+  }
+
+  void completeFiring(ActorId a) {
+    remaining_[a].erase(remaining_[a].begin());
+    for (const ChannelId c : graph_.actor(a).outputs) {
+      tokens_[c] += graph_.channel(c).prodRate;
+    }
+    if (a < originalActors_) {
+      for (auto& [channel, token] : pendingOutputs_[a]) {
+        if (impl_.mapping.channelRoutes.at(channel).interTile) {
+          result_.interTileBytes[channel] += token.size();
+        }
+        payloads_[channel].push_back(std::move(token));
+      }
+      pendingOutputs_[a].clear();
+      if (a == 0) {
+        ++refCompletions_;
+      }
+    }
+    const std::uint32_t res = resourceOf(a);
+    if (res != analysis::ResourceConstraints::kUnbound) {
+      --resourceBusy_[res];
+    }
+  }
+
+  void settleInstant() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (ActorId a = 0; a < graph_.actorCount(); ++a) {
+        while (isReady(a)) {
+          startFiring(a);
+          changed = true;
+          // Serialized actors can hold only one firing; the loop exits
+          // via isReady. Unlimited-concurrency zero-time actors are
+          // bounded by their input tokens.
+        }
+      }
+      for (ActorId a = 0; a < graph_.actorCount(); ++a) {
+        while (!remaining_[a].empty() && remaining_[a].front() == 0) {
+          completeFiring(a);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  void advanceTime() {
+    std::uint64_t delta = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& r : remaining_) {
+      if (!r.empty()) {
+        delta = std::min(delta, r.front());
+      }
+    }
+    now_ += delta;
+    for (auto& r : remaining_) {
+      for (auto& v : r) {
+        v -= delta;
+      }
+    }
+  }
+
+  PlatformSim::Impl& impl_;
+  const sdf::Graph& graph_;
+  SimOptions options_;
+  std::size_t originalActors_;
+
+  std::vector<std::uint64_t> tokens_;
+  std::vector<std::vector<std::uint64_t>> remaining_;
+  std::vector<std::vector<std::pair<ChannelId, Token>>> pendingOutputs_;
+  std::vector<std::deque<Token>> payloads_;
+  std::vector<std::uint32_t> schedulePos_;
+  std::vector<std::uint32_t> resourceBusy_;
+
+  std::uint64_t now_ = 0;
+  std::uint64_t refCompletions_ = 0;
+  std::uint64_t measureStart_ = kUnset;
+  std::uint64_t qRef_ = 1;
+  SimResult result_;
+};
+
+}  // namespace
+
+SimResult PlatformSim::run(const SimOptions& options) {
+  Engine engine(*impl_, options);
+  return engine.run();
+}
+
+}  // namespace mamps::sim

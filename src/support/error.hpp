@@ -1,0 +1,45 @@
+// Error types used throughout the MAMPS flow.
+//
+// Convention: exceptions signal *contract violations and unrecoverable
+// input errors* (malformed graphs, malformed XML, impossible requests).
+// Expected analysis outcomes (deadlock, infeasible mapping, ...) are
+// reported through result types, not exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mamps {
+
+/// Base class for all errors raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A structurally invalid model (graph, architecture, application).
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed interchange-format input (XML parse/shape errors).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// An analysis was asked to do something outside its domain
+/// (e.g. throughput of an inconsistent graph).
+class AnalysisError : public Error {
+ public:
+  explicit AnalysisError(const std::string& what) : Error(what) {}
+};
+
+/// Platform generation failed (resource exhaustion, missing template).
+class GenerationError : public Error {
+ public:
+  explicit GenerationError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace mamps

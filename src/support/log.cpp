@@ -1,0 +1,35 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mamps {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warning};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warning: return "warning";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void logMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(logLevel())) {
+    return;
+  }
+  std::fprintf(stderr, "[mamps:%s] %s\n", levelName(level), message.c_str());
+}
+
+}  // namespace mamps

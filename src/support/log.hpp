@@ -1,0 +1,23 @@
+// Minimal leveled logging. Tools in the flow report progress at Info;
+// analyses report detail at Debug. Quiet by default in tests.
+#pragma once
+
+#include <string>
+
+namespace mamps {
+
+enum class LogLevel { Debug = 0, Info = 1, Warning = 2, Error = 3, Off = 4 };
+
+/// Set the global minimum level that is actually printed.
+void setLogLevel(LogLevel level);
+[[nodiscard]] LogLevel logLevel();
+
+/// Emit one log line to stderr when `level` passes the global filter.
+void logMessage(LogLevel level, const std::string& message);
+
+inline void logDebug(const std::string& message) { logMessage(LogLevel::Debug, message); }
+inline void logInfo(const std::string& message) { logMessage(LogLevel::Info, message); }
+inline void logWarning(const std::string& message) { logMessage(LogLevel::Warning, message); }
+inline void logError(const std::string& message) { logMessage(LogLevel::Error, message); }
+
+}  // namespace mamps

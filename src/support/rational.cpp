@@ -1,0 +1,110 @@
+#include "support/rational.hpp"
+
+#include <cstdlib>
+
+namespace mamps {
+namespace {
+
+std::int64_t checkedMul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw Error("Rational: multiplication overflow");
+  }
+  return out;
+}
+
+std::int64_t checkedAdd(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw Error("Rational: addition overflow");
+  }
+  return out;
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  if (den_ == 0) {
+    throw Error("Rational: zero denominator");
+  }
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+std::string Rational::toString() const {
+  if (den_ == 1) {
+    return std::to_string(num_);
+  }
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator-() const {
+  Rational r = *this;
+  r.num_ = -r.num_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  // Reduce cross-factors first to delay overflow.
+  const std::int64_t g = std::gcd(den_, rhs.den_);
+  const std::int64_t lhsScale = rhs.den_ / g;
+  const std::int64_t rhsScale = den_ / g;
+  num_ = checkedAdd(checkedMul(num_, lhsScale), checkedMul(rhs.num_, rhsScale));
+  den_ = checkedMul(den_, lhsScale);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) { return *this += -rhs; }
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  const std::int64_t g1 = std::gcd(num_ < 0 ? -num_ : num_, rhs.den_);
+  const std::int64_t g2 = std::gcd(rhs.num_ < 0 ? -rhs.num_ : rhs.num_, den_);
+  num_ = checkedMul(num_ / g1, rhs.num_ / g2);
+  den_ = checkedMul(den_ / g2, rhs.den_ / g1);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) { return *this *= rhs.reciprocal(); }
+
+Rational Rational::reciprocal() const {
+  if (num_ == 0) {
+    throw Error("Rational: reciprocal of zero");
+  }
+  return {den_, num_};
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // Compare a.num/a.den <=> b.num/b.den via cross multiplication with
+  // gcd reduction to avoid overflow in common cases.
+  const std::int64_t g = std::gcd(a.den_, b.den_);
+  const std::int64_t lhs = checkedMul(a.num_, b.den_ / g);
+  const std::int64_t rhs = checkedMul(b.num_, a.den_ / g);
+  return lhs <=> rhs;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) { return os << r.toString(); }
+
+std::int64_t checkedLcm(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  const std::int64_t g = std::gcd(a, b);
+  return checkedMul(a / g, b);
+}
+
+}  // namespace mamps

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation for tests, benchmarks,
+// and synthetic workload creation. splitmix64: tiny, fast, well mixed,
+// and — unlike std::mt19937 seeded naively — gives unrelated streams for
+// nearby seeds.
+#pragma once
+
+#include <cstdint>
+
+namespace mamps {
+
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  constexpr std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next() % (hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw.
+  constexpr bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace mamps

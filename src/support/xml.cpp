@@ -1,0 +1,345 @@
+#include "support/xml.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace mamps::xml {
+
+void Element::setAttribute(std::string key, std::string value) {
+  for (auto& [k, v] : attributes_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(std::move(key), std::move(value));
+}
+
+std::optional<std::string_view> Element::attribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) {
+      return std::string_view(v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string_view Element::requiredAttribute(std::string_view key) const {
+  const auto value = attribute(key);
+  if (!value) {
+    throw ParseError("element <" + name_ + "> is missing required attribute '" + std::string(key) +
+                     "'");
+  }
+  return *value;
+}
+
+Element& Element::addChild(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::adopt(std::unique_ptr<Element> child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+std::vector<const Element*> Element::childrenNamed(std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& child : children_) {
+    if (child->name() == name) {
+      out.push_back(child.get());
+    }
+  }
+  return out;
+}
+
+const Element* Element::firstChild(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name) {
+      return child.get();
+    }
+  }
+  return nullptr;
+}
+
+const Element& Element::requiredChild(std::string_view name) const {
+  const Element* child = firstChild(name);
+  if (child == nullptr) {
+    throw ParseError("element <" + name_ + "> is missing required child <" + std::string(name) +
+                     ">");
+  }
+  return *child;
+}
+
+std::string Element::toString(int indent) const {
+  std::ostringstream os;
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  os << pad << '<' << name_;
+  for (const auto& [k, v] : attributes_) {
+    os << ' ' << k << "=\"" << escape(v) << '"';
+  }
+  if (children_.empty() && text_.empty()) {
+    os << "/>\n";
+    return os.str();
+  }
+  os << '>';
+  if (!text_.empty()) {
+    os << escape(text_);
+  }
+  if (!children_.empty()) {
+    os << '\n';
+    for (const auto& child : children_) {
+      os << child->toString(indent + 1);
+    }
+    os << pad;
+  }
+  os << "</" << name_ << ">\n";
+  return os.str();
+}
+
+std::string Document::toString() const {
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" + root_->toString();
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with line tracking.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::unique_ptr<Element> parseDocument() {
+    skipMisc();
+    auto root = parseElement();
+    skipMisc();
+    if (pos_ != text_.size()) {
+      fail("trailing content after document element");
+    }
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("XML parse error at line " + std::to_string(line_) + ": " + message);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return eof() ? '\0' : text_[pos_]; }
+
+  char advance() {
+    if (eof()) {
+      fail("unexpected end of input");
+    }
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+    }
+    return c;
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', found '" + peek() + "'");
+    }
+    advance();
+  }
+
+  bool consume(std::string_view token) {
+    if (text_.substr(pos_, token.size()) != token) {
+      return false;
+    }
+    for (std::size_t i = 0; i < token.size(); ++i) {
+      advance();
+    }
+    return true;
+  }
+
+  void skipWhitespace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek())) != 0) {
+      advance();
+    }
+  }
+
+  /// Skip whitespace, comments, processing instructions, and the XML decl.
+  void skipMisc() {
+    while (true) {
+      skipWhitespace();
+      if (consume("<!--")) {
+        while (!consume("-->")) {
+          advance();
+        }
+      } else if (consume("<?")) {
+        while (!consume("?>")) {
+          advance();
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] static bool isNameChar(char c) {
+    return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_' || c == '-' || c == '.' ||
+           c == ':';
+  }
+
+  std::string parseName() {
+    std::string name;
+    while (!eof() && isNameChar(peek())) {
+      name.push_back(advance());
+    }
+    if (name.empty()) {
+      fail("expected a name");
+    }
+    return name;
+  }
+
+  std::string decodeEntity() {
+    // Called after '&' has been consumed.
+    std::string entity;
+    while (peek() != ';') {
+      entity.push_back(advance());
+      if (entity.size() > 8) {
+        fail("unterminated entity reference");
+      }
+    }
+    advance();  // ';'
+    if (entity == "amp") return "&";
+    if (entity == "lt") return "<";
+    if (entity == "gt") return ">";
+    if (entity == "quot") return "\"";
+    if (entity == "apos") return "'";
+    if (!entity.empty() && entity.front() == '#') {
+      const std::string_view digits = std::string_view(entity).substr(1);
+      const std::uint64_t code =
+          (digits.size() > 1 && (digits[0] == 'x' || digits[0] == 'X'))
+              ? std::stoull(std::string(digits.substr(1)), nullptr, 16)
+              : parseU64(digits);
+      if (code > 127) {
+        fail("non-ASCII character references are not supported");
+      }
+      return std::string(1, static_cast<char>(code));
+    }
+    fail("unknown entity '&" + entity + ";'");
+  }
+
+  std::string parseAttributeValue() {
+    const char quote = peek();
+    if (quote != '"' && quote != '\'') {
+      fail("expected quoted attribute value");
+    }
+    advance();
+    std::string value;
+    while (peek() != quote) {
+      if (peek() == '&') {
+        advance();
+        value += decodeEntity();
+      } else {
+        value.push_back(advance());
+      }
+    }
+    advance();  // closing quote
+    return value;
+  }
+
+  std::unique_ptr<Element> parseElement() {
+    expect('<');
+    auto element = std::make_unique<Element>(parseName());
+    // Attributes.
+    while (true) {
+      skipWhitespace();
+      if (peek() == '/' || peek() == '>') {
+        break;
+      }
+      std::string key = parseName();
+      skipWhitespace();
+      expect('=');
+      skipWhitespace();
+      element->setAttribute(std::move(key), parseAttributeValue());
+    }
+    if (consume("/>")) {
+      return element;
+    }
+    expect('>');
+    // Content: text interleaved with children and comments.
+    std::string text;
+    while (true) {
+      if (consume("<!--")) {
+        while (!consume("-->")) {
+          advance();
+        }
+        continue;
+      }
+      if (text_.substr(pos_, 2) == "</") {
+        consume("</");
+        const std::string closing = parseName();
+        if (closing != element->name()) {
+          fail("mismatched closing tag </" + closing + "> for <" + element->name() + ">");
+        }
+        skipWhitespace();
+        expect('>');
+        break;
+      }
+      if (peek() == '<') {
+        element->adopt(parseElement());
+        continue;
+      }
+      if (peek() == '&') {
+        advance();
+        text += decodeEntity();
+        continue;
+      }
+      if (eof()) {
+        fail("unterminated element <" + element->name() + ">");
+      }
+      text.push_back(advance());
+    }
+    const std::string_view trimmed = trim(text);
+    if (!trimmed.empty()) {
+      element->setText(std::string(trimmed));
+    }
+    return element;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Document parse(std::string_view text) {
+  Parser parser(text);
+  return Document(parser.parseDocument());
+}
+
+Document parseFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ParseError("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace mamps::xml

@@ -1,0 +1,79 @@
+// A small XML document model and parser.
+//
+// This implements the subset of XML used by the SDF3-style interchange
+// files of this flow: elements, attributes, text content, comments, XML
+// declarations, and entity references (&amp; &lt; &gt; &quot; &apos;).
+// It does not implement DTDs, namespaces-as-semantics, or CDATA.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mamps::xml {
+
+/// One XML element: tag name, attributes, child elements, and text.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void setAttribute(std::string key, std::string value);
+  [[nodiscard]] std::optional<std::string_view> attribute(std::string_view key) const;
+  /// Attribute that must exist; throws ParseError otherwise.
+  [[nodiscard]] std::string_view requiredAttribute(std::string_view key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+
+  Element& addChild(std::string name);
+  /// Take ownership of an already-built element as the last child.
+  Element& adopt(std::unique_ptr<Element> child);
+  [[nodiscard]] const std::vector<std::unique_ptr<Element>>& children() const { return children_; }
+  /// All direct children with the given tag name.
+  [[nodiscard]] std::vector<const Element*> childrenNamed(std::string_view name) const;
+  /// The first direct child with the given tag name, or nullptr.
+  [[nodiscard]] const Element* firstChild(std::string_view name) const;
+  /// The first direct child with the given tag name; throws ParseError when absent.
+  [[nodiscard]] const Element& requiredChild(std::string_view name) const;
+
+  void setText(std::string text) { text_ = std::move(text); }
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+  /// Serialize this element (and subtree) as indented XML.
+  [[nodiscard]] std::string toString(int indent = 0) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<std::unique_ptr<Element>> children_;
+  std::string text_;
+};
+
+/// A parsed document; owns the root element.
+class Document {
+ public:
+  explicit Document(std::unique_ptr<Element> root) : root_(std::move(root)) {}
+
+  [[nodiscard]] const Element& root() const { return *root_; }
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::unique_ptr<Element> root_;
+};
+
+/// Parse a document from text; throws ParseError with line information.
+[[nodiscard]] Document parse(std::string_view text);
+
+/// Parse the file at `path`; throws ParseError on I/O or syntax errors.
+[[nodiscard]] Document parseFile(const std::string& path);
+
+/// Escape text for inclusion in XML content or attribute values.
+[[nodiscard]] std::string escape(std::string_view text);
+
+}  // namespace mamps::xml

@@ -1,0 +1,157 @@
+// Property-based tests on randomized consistent SDF graphs. These pin
+// the relations between the independent implementations: repetition
+// vectors satisfy the balance equations, the state-space throughput
+// analysis agrees with the MCR analysis on the HSDF expansion, buffer
+// capacities preserve liveness, and throughput is monotone in buffer
+// capacity.
+#include <gtest/gtest.h>
+
+#include "analysis/buffer.hpp"
+#include "analysis/mcm.hpp"
+#include "analysis/throughput.hpp"
+#include "sdf/hsdf.hpp"
+#include "sdf/repetition_vector.hpp"
+#include "test_util.hpp"
+
+namespace mamps::analysis {
+namespace {
+
+using sdf::Graph;
+using sdf::TimedGraph;
+
+class RandomGraphProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphProperty, RepetitionVectorSatisfiesBalanceEquations) {
+  Rng rng(GetParam());
+  const Graph g = test::randomConsistentGraph(rng);
+  const auto q = sdf::computeRepetitionVector(g);
+  ASSERT_TRUE(q.has_value()) << "generator must produce consistent graphs";
+  for (const sdf::Channel& c : g.channels()) {
+    EXPECT_EQ((*q)[c.src] * c.prodRate, (*q)[c.dst] * c.consRate) << "channel " << c.name;
+  }
+}
+
+TEST_P(RandomGraphProperty, RepetitionVectorIsMinimal) {
+  Rng rng(GetParam() + 1000);
+  const Graph g = test::randomConsistentGraph(rng);
+  const auto q = sdf::computeRepetitionVector(g);
+  ASSERT_TRUE(q.has_value());
+  // Minimality: the gcd over each connected component must be 1; for the
+  // generator's connected graphs, the global gcd is 1.
+  std::uint64_t gcd = 0;
+  for (const auto v : *q) {
+    gcd = std::gcd(gcd, v);
+    EXPECT_GT(v, 0u);
+  }
+  EXPECT_EQ(gcd, 1u);
+}
+
+TEST_P(RandomGraphProperty, GeneratedGraphsAreLive) {
+  Rng rng(GetParam() + 2000);
+  const Graph g = test::randomConsistentGraph(rng);
+  EXPECT_TRUE(sdf::isDeadlockFree(g));
+}
+
+TEST_P(RandomGraphProperty, OneIterationRestoresInitialTokens) {
+  Rng rng(GetParam() + 3000);
+  const Graph g = test::randomConsistentGraph(rng);
+  const auto q = *sdf::computeRepetitionVector(g);
+  // Net token change per channel over one iteration is zero by the
+  // balance equations; verify by counting.
+  for (const sdf::Channel& c : g.channels()) {
+    const std::int64_t produced = static_cast<std::int64_t>(q[c.src] * c.prodRate);
+    const std::int64_t consumed = static_cast<std::int64_t>(q[c.dst] * c.consRate);
+    EXPECT_EQ(produced, consumed);
+  }
+}
+
+TEST_P(RandomGraphProperty, StateSpaceThroughputMatchesMcrOnHsdf) {
+  Rng rng(GetParam() + 4000);
+  test::RandomGraphOptions opt;
+  opt.maxActors = 5;
+  opt.maxQ = 3;
+  const Graph g = test::randomConsistentGraph(rng, opt);
+  // Compare on the strongly-bounded (capacitated) graph: state-space
+  // analysis requires bounded token accumulation, and the flow only ever
+  // analyzes binding-aware graphs, which are bounded by construction.
+  const auto capacities = minimalDeadlockFreeCapacities(g);
+  ASSERT_TRUE(capacities.has_value());
+  const TimedGraph bounded =
+      withCapacities(TimedGraph{g, test::randomExecTimes(rng, g)}, *capacities);
+
+  const auto viaStateSpace = computeThroughput(bounded);
+  const auto viaMcr = throughputViaMcr(bounded);
+  ASSERT_TRUE(viaStateSpace.ok());
+  ASSERT_TRUE(viaMcr.has_value());
+  EXPECT_EQ(viaStateSpace.iterationsPerCycle, *viaMcr)
+      << "state-space and MCR throughput disagree (seed " << GetParam() << ")";
+}
+
+TEST_P(RandomGraphProperty, HowardMatchesBruteForceOnRandomHsdf) {
+  Rng rng(GetParam() + 5000);
+  test::RandomGraphOptions opt;
+  opt.maxActors = 4;
+  opt.maxQ = 3;
+  const Graph g = test::randomConsistentGraph(rng, opt);
+  const TimedGraph timed{g, test::randomExecTimes(rng, g)};
+  const auto expansion = sdf::toHsdf(timed);
+  const auto howard = maxCycleRatioHoward(expansion.hsdf);
+  const auto brute = maxCycleRatioBruteForce(expansion.hsdf);
+  ASSERT_EQ(howard.status, brute.status);
+  if (howard.ok()) {
+    EXPECT_EQ(howard.ratio, brute.ratio) << "seed " << GetParam();
+  }
+}
+
+TEST_P(RandomGraphProperty, MinimalCapacitiesPreserveLiveness) {
+  Rng rng(GetParam() + 6000);
+  const Graph g = test::randomConsistentGraph(rng);
+  const auto capacities = minimalDeadlockFreeCapacities(g);
+  ASSERT_TRUE(capacities.has_value());
+  EXPECT_TRUE(sdf::isDeadlockFree(withCapacities(g, *capacities)));
+}
+
+TEST_P(RandomGraphProperty, BoundedThroughputNeverExceedsUnbounded) {
+  Rng rng(GetParam() + 7000);
+  test::RandomGraphOptions opt;
+  opt.maxActors = 5;
+  const Graph g = test::randomConsistentGraph(rng, opt);
+  const TimedGraph timed{g, test::randomExecTimes(rng, g)};
+  // Unbounded-buffer ceiling via MCR (handles non-strongly-bounded graphs).
+  const auto unbounded = throughputViaMcr(timed);
+  ASSERT_TRUE(unbounded.has_value());
+
+  auto capacities = minimalDeadlockFreeCapacities(g);
+  ASSERT_TRUE(capacities.has_value());
+  const auto bounded = computeThroughput(withCapacities(timed, *capacities));
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_LE(bounded.iterationsPerCycle, *unbounded);
+}
+
+TEST_P(RandomGraphProperty, ThroughputMonotoneUnderCapacityGrowth) {
+  Rng rng(GetParam() + 8000);
+  test::RandomGraphOptions opt;
+  opt.maxActors = 4;
+  const Graph g = test::randomConsistentGraph(rng, opt);
+  const TimedGraph timed{g, test::randomExecTimes(rng, g)};
+  auto capacities = minimalDeadlockFreeCapacities(g);
+  ASSERT_TRUE(capacities.has_value());
+
+  Rational previous(0);
+  for (int round = 0; round < 3; ++round) {
+    const auto result = computeThroughput(withCapacities(timed, *capacities));
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result.iterationsPerCycle, previous);
+    previous = result.iterationsPerCycle;
+    for (std::size_t c = 0; c < capacities->size(); ++c) {
+      if ((*capacities)[c] != 0) {
+        (*capacities)[c] += g.channel(static_cast<sdf::ChannelId>(c)).prodRate;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphProperty, ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace mamps::analysis

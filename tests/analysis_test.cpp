@@ -1,0 +1,375 @@
+// Unit tests for throughput, cycle-ratio, and buffer-sizing analyses.
+#include <gtest/gtest.h>
+
+#include "analysis/buffer.hpp"
+#include "analysis/mcm.hpp"
+#include "analysis/throughput.hpp"
+#include "sdf/hsdf.hpp"
+#include "sdf/repetition_vector.hpp"
+#include "test_util.hpp"
+
+namespace mamps::analysis {
+namespace {
+
+using sdf::Graph;
+using sdf::TimedGraph;
+
+// -------------------------------------------------------------- Throughput
+
+TEST(ThroughputTest, SingleActorWithSelfEdge) {
+  Graph g;
+  const auto a = g.addActor("a");
+  g.connect(a, 1, a, 1, 1);
+  const TimedGraph timed{std::move(g), {10}};
+  const auto result = computeThroughput(timed);
+  ASSERT_TRUE(result.ok());
+  // One firing per 10 cycles.
+  EXPECT_EQ(result.iterationsPerCycle, Rational(1, 10));
+}
+
+TEST(ThroughputTest, TwoActorRing) {
+  // a -> b -> a with one token: strictly alternating firings.
+  Graph g;
+  const auto a = g.addActor("a");
+  const auto b = g.addActor("b");
+  g.connect(a, 1, b, 1);
+  g.connect(b, 1, a, 1, 1);
+  const TimedGraph timed{std::move(g), {3, 7}};
+  const auto result = computeThroughput(timed);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.iterationsPerCycle, Rational(1, 10));
+}
+
+TEST(ThroughputTest, TwoTokenRingPipelines) {
+  // With two tokens in the ring the two actors work concurrently; the
+  // slower one dominates.
+  Graph g;
+  const auto a = g.addActor("a");
+  const auto b = g.addActor("b");
+  g.connect(a, 1, b, 1);
+  g.connect(b, 1, a, 1, 2);
+  const TimedGraph timed{std::move(g), {3, 7}};
+  const auto result = computeThroughput(timed);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.iterationsPerCycle, Rational(1, 7));
+}
+
+TEST(ThroughputTest, DeadlockedGraph) {
+  Graph g;
+  const auto a = g.addActor("a");
+  const auto b = g.addActor("b");
+  g.connect(a, 1, b, 1);
+  g.connect(b, 1, a, 1);  // no tokens
+  const TimedGraph timed{std::move(g), {1, 1}};
+  const auto result = computeThroughput(timed);
+  EXPECT_EQ(result.status, ThroughputResult::Status::Deadlock);
+  EXPECT_TRUE(result.iterationsPerCycle.isZero());
+}
+
+TEST(ThroughputTest, InconsistentGraph) {
+  Graph g;
+  const auto a = g.addActor("a");
+  const auto b = g.addActor("b");
+  g.connect(a, 2, b, 1);
+  g.connect(a, 1, b, 1);
+  const TimedGraph timed{std::move(g), {1, 1}};
+  EXPECT_EQ(computeThroughput(timed).status, ThroughputResult::Status::Inconsistent);
+}
+
+TEST(ThroughputTest, UnboundedZeroTimeCycle) {
+  Graph g;
+  const auto a = g.addActor("a");
+  g.connect(a, 1, a, 1, 1);
+  const TimedGraph timed{std::move(g), {0}};
+  EXPECT_EQ(computeThroughput(timed).status, ThroughputResult::Status::Unbounded);
+}
+
+TEST(ThroughputTest, SourceSinkWithoutBoundIsUnbounded) {
+  // An unbounded source (no cycle anywhere) fires infinitely fast in the
+  // self-timed semantics only when it has zero execution time; with
+  // non-zero time its own serial firing bounds the rate.
+  Graph g;
+  const auto a = g.addActor("src");
+  const auto b = g.addActor("snk");
+  g.connect(a, 1, b, 1);
+  const TimedGraph timed{std::move(g), {4, 1}};
+  const auto result = computeThroughput(timed);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.iterationsPerCycle, Rational(1, 4));
+}
+
+TEST(ThroughputTest, DivergesOnUnboundedAccumulation) {
+  // Figure 2 is consistent but not strongly bounded: A outpaces B, so
+  // tokens pile up on a2b forever under self-timed execution. The
+  // state-space analysis must detect this instead of running away.
+  const TimedGraph timed{test::figure2Graph(), {1, 1, 1}};
+  EXPECT_EQ(computeThroughput(timed).status, ThroughputResult::Status::Diverged);
+}
+
+TEST(ThroughputTest, Figure2WithCapacitiesMatchesMcr) {
+  const TimedGraph timed{test::figure2Graph(), {1, 1, 1}};
+  const auto capacities = minimalDeadlockFreeCapacities(timed.graph);
+  ASSERT_TRUE(capacities.has_value());
+  const TimedGraph bounded = withCapacities(timed, *capacities);
+  const auto result = computeThroughput(bounded);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.iterationsPerCycle, throughputViaMcr(bounded).value());
+}
+
+TEST(ThroughputTest, MultiRatePipelineMatchesHandComputation) {
+  // prod=2,cons=1, capacity 2: the source needs both slots free, so the
+  // execution fully serializes: 10 (src) + 6 + 6 (two sink firings
+  // releasing the slots) = period 22.
+  Graph g = test::pipelineGraph(2, 1);
+  const TimedGraph timed{std::move(g), {10, 6}};
+  const auto result = computeThroughput(withCapacities(timed, {2}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.iterationsPerCycle, Rational(1, 22));
+}
+
+TEST(ThroughputTest, AutoConcurrencyAllowsUnboundedSourceOverlap) {
+  // A source without input constraints can overlap itself infinitely
+  // when auto-concurrency is enabled: unbounded throughput.
+  Graph g = test::pipelineGraph(2, 1);
+  const TimedGraph timed{std::move(g), {10, 6}};
+  ThroughputOptions options;
+  options.autoConcurrency = true;
+  EXPECT_EQ(computeThroughput(timed, options).status, ThroughputResult::Status::Unbounded);
+}
+
+TEST(ThroughputTest, AutoConcurrencyRaisesThroughput) {
+  // Same bounded pipeline: the sink's two firings per iteration overlap
+  // when auto-concurrency is on (period 16), but serialize when it is
+  // off (period 22).
+  const auto makeTimed = [] {
+    Graph g;
+    const auto src = g.addActor("src");
+    const auto snk = g.addActor("snk");
+    g.connect(src, 2, snk, 1, 0, "link");
+    g.connect(src, 1, src, 1, 1, "srcSelf");
+    return TimedGraph{std::move(g), {10, 6}};
+  };
+  const auto serial = computeThroughput(withCapacities(makeTimed(), {2, 0}));
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial.iterationsPerCycle, Rational(1, 22));
+
+  ThroughputOptions options;
+  options.autoConcurrency = true;
+  const auto overlapped = computeThroughput(withCapacities(makeTimed(), {2, 0}), options);
+  ASSERT_TRUE(overlapped.ok());
+  EXPECT_EQ(overlapped.iterationsPerCycle, Rational(1, 16));
+}
+
+TEST(ThroughputTest, ZeroTimeActorsAreFine) {
+  // Zero-time "bookkeeping" actors (as in the communication model of
+  // Figure 4) must not break the analysis as long as a timed cycle
+  // exists.
+  Graph g;
+  const auto a = g.addActor("a");
+  const auto s2 = g.addActor("s2");
+  const auto b = g.addActor("b");
+  g.connect(a, 1, s2, 1);
+  g.connect(s2, 1, b, 1);
+  g.connect(b, 1, a, 1, 1);
+  const TimedGraph timed{std::move(g), {5, 0, 3}};
+  const auto result = computeThroughput(timed);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.iterationsPerCycle, Rational(1, 8));
+}
+
+TEST(ThroughputTest, ExecTimeSizeMismatchThrows) {
+  const TimedGraph timed{test::figure2Graph(), {1, 1}};
+  EXPECT_THROW(computeThroughput(timed), AnalysisError);
+}
+
+// -------------------------------------------------------------- CycleRatio
+
+TEST(CycleRatioTest, SimpleRing) {
+  sdf::TimedGraph ring{test::ringGraph(3), {2, 3, 4}};
+  const auto result = maxCycleRatioHoward(ring);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ratio, Rational(9));  // (2+3+4)/1 token
+}
+
+TEST(CycleRatioTest, PicksHeaviestCycle) {
+  Graph g;
+  const auto a = g.addActor("a");
+  const auto b = g.addActor("b");
+  const auto c = g.addActor("c");
+  // Cycle 1: a<->b with 1 token, weight 2+3=5.
+  g.connect(a, 1, b, 1);
+  g.connect(b, 1, a, 1, 1);
+  // Cycle 2: a<->c with 2 tokens, weight 2+9=11 -> ratio 11/2 > 5.
+  g.connect(a, 1, c, 1);
+  g.connect(c, 1, a, 1, 2);
+  sdf::TimedGraph timed{std::move(g), {2, 3, 9}};
+  const auto result = maxCycleRatioHoward(timed);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ratio, Rational(11, 2));
+}
+
+TEST(CycleRatioTest, DetectsDeadlockCycle) {
+  Graph g;
+  const auto a = g.addActor("a");
+  const auto b = g.addActor("b");
+  g.connect(a, 1, b, 1);
+  g.connect(b, 1, a, 1);  // zero tokens on the whole cycle
+  sdf::TimedGraph timed{std::move(g), {1, 1}};
+  EXPECT_EQ(maxCycleRatioHoward(timed).status, CycleRatioResult::Status::Deadlock);
+  EXPECT_EQ(maxCycleRatioBruteForce(timed).status, CycleRatioResult::Status::Deadlock);
+}
+
+TEST(CycleRatioTest, AcyclicGraph) {
+  Graph g;
+  const auto a = g.addActor("a");
+  const auto b = g.addActor("b");
+  g.connect(a, 1, b, 1);
+  sdf::TimedGraph timed{std::move(g), {1, 1}};
+  EXPECT_EQ(maxCycleRatioHoward(timed).status, CycleRatioResult::Status::Acyclic);
+  EXPECT_EQ(maxCycleRatioBruteForce(timed).status, CycleRatioResult::Status::Acyclic);
+}
+
+TEST(CycleRatioTest, RejectsMultiRateGraphs) {
+  sdf::TimedGraph timed{test::pipelineGraph(2, 1), {1, 1}};
+  EXPECT_THROW(maxCycleRatioHoward(timed), AnalysisError);
+  EXPECT_THROW(maxCycleRatioBruteForce(timed), AnalysisError);
+}
+
+TEST(CycleRatioTest, HowardMatchesBruteForceOnKnownGraph) {
+  sdf::TimedGraph timed{test::figure2Graph(), {5, 3, 2}};
+  const auto expansion = sdf::toHsdf(timed);
+  const auto howard = maxCycleRatioHoward(expansion.hsdf);
+  const auto brute = maxCycleRatioBruteForce(expansion.hsdf);
+  ASSERT_TRUE(howard.ok());
+  ASSERT_TRUE(brute.ok());
+  EXPECT_EQ(howard.ratio, brute.ratio);
+}
+
+TEST(CycleRatioTest, ThroughputViaMcrMatchesStateSpace) {
+  // A strongly connected graph recurs without extra capacities.
+  const sdf::TimedGraph timed{test::ringGraph(4), {2, 5, 3, 7}};
+  const auto mcr = throughputViaMcr(timed);
+  const auto ss = computeThroughput(timed);
+  ASSERT_TRUE(mcr.has_value());
+  ASSERT_TRUE(ss.ok());
+  EXPECT_EQ(*mcr, Rational(1, 17));
+  EXPECT_EQ(*mcr, ss.iterationsPerCycle);
+}
+
+TEST(CycleRatioTest, ThroughputViaMcrDetectsDeadlock) {
+  Graph g;
+  const auto a = g.addActor("a");
+  const auto b = g.addActor("b");
+  g.connect(a, 1, b, 1);
+  g.connect(b, 1, a, 1);
+  const sdf::TimedGraph timed{std::move(g), {1, 1}};
+  EXPECT_FALSE(throughputViaMcr(timed).has_value());
+}
+
+// ------------------------------------------------------------------ Buffer
+
+TEST(BufferTest, WithCapacitiesAddsBackEdges) {
+  const Graph g = test::pipelineGraph(2, 3);
+  const Graph capped = withCapacities(g, {6});
+  EXPECT_EQ(capped.channelCount(), 2u);
+  const auto space = capped.findChannel("link_space");
+  ASSERT_TRUE(space.has_value());
+  EXPECT_EQ(capped.channel(*space).initialTokens, 6u);
+  EXPECT_EQ(capped.channel(*space).prodRate, 3u);
+  EXPECT_EQ(capped.channel(*space).consRate, 2u);
+}
+
+TEST(BufferTest, ZeroCapacityMeansUnbounded) {
+  const Graph g = test::pipelineGraph(1, 1);
+  const Graph capped = withCapacities(g, {0});
+  EXPECT_EQ(capped.channelCount(), 1u);
+}
+
+TEST(BufferTest, SelfEdgesAreNeverCapacitated) {
+  Graph g;
+  const auto a = g.addActor("a");
+  g.connect(a, 1, a, 1, 1);
+  const Graph capped = withCapacities(g, {4});
+  EXPECT_EQ(capped.channelCount(), 1u);
+}
+
+TEST(BufferTest, CapacityBelowInitialTokensThrows) {
+  const Graph g = test::pipelineGraph(1, 1, /*initialTokens=*/5);
+  EXPECT_THROW(withCapacities(g, {3}), ModelError);
+}
+
+TEST(BufferTest, CapacityBelowRateThrows) {
+  const Graph g = test::pipelineGraph(4, 1);
+  EXPECT_THROW(withCapacities(g, {2}), ModelError);
+}
+
+TEST(BufferTest, LowerBoundFormula) {
+  sdf::Channel c;
+  c.prodRate = 2;
+  c.consRate = 3;
+  c.initialTokens = 0;
+  // 2 + 3 - gcd(2,3) + 0 = 4
+  EXPECT_EQ(capacityLowerBound(c), 4u);
+  c.prodRate = 4;
+  c.consRate = 4;
+  EXPECT_EQ(capacityLowerBound(c), 4u);
+}
+
+TEST(BufferTest, MinimalCapacitiesKeepGraphLive) {
+  const Graph g = test::figure2Graph();
+  const auto capacities = minimalDeadlockFreeCapacities(g);
+  ASSERT_TRUE(capacities.has_value());
+  EXPECT_TRUE(sdf::isDeadlockFree(withCapacities(g, *capacities)));
+}
+
+TEST(BufferTest, MinimalCapacitiesOfPipeline) {
+  const Graph g = test::pipelineGraph(2, 3);
+  const auto capacities = minimalDeadlockFreeCapacities(g);
+  ASSERT_TRUE(capacities.has_value());
+  EXPECT_GE((*capacities)[0], 4u);
+  EXPECT_TRUE(sdf::isDeadlockFree(withCapacities(g, *capacities)));
+}
+
+TEST(BufferTest, DeadlockedGraphHasNoCapacities) {
+  Graph g;
+  const auto a = g.addActor("a");
+  const auto b = g.addActor("b");
+  g.connect(a, 1, b, 1);
+  g.connect(b, 1, a, 1);
+  EXPECT_FALSE(minimalDeadlockFreeCapacities(g).has_value());
+}
+
+TEST(BufferTest, SizingReachesUnboundedThroughput) {
+  Graph g = test::pipelineGraph(1, 1);
+  const TimedGraph timed{std::move(g), {4, 4}};
+  const auto unbounded = computeThroughput(timed);
+  ASSERT_TRUE(unbounded.ok());
+  const auto sized = sizeBuffersForThroughput(timed, unbounded.iterationsPerCycle);
+  ASSERT_TRUE(sized.has_value());
+  EXPECT_GE(sized->achievedThroughput, unbounded.iterationsPerCycle);
+  EXPECT_GT(sized->totalBytes, 0u);
+}
+
+TEST(BufferTest, SizingFailsForImpossibleTarget) {
+  Graph g = test::pipelineGraph(1, 1);
+  const TimedGraph timed{std::move(g), {4, 4}};
+  EXPECT_FALSE(sizeBuffersForThroughput(timed, Rational(1, 2)).has_value());
+}
+
+TEST(BufferTest, ThroughputIsMonotoneInCapacity) {
+  Graph g;
+  const auto a = g.addActor("a");
+  const auto b = g.addActor("b");
+  g.connect(a, 1, b, 1, 0, "ab");
+  const TimedGraph timed{std::move(g), {2, 5}};
+  Rational previous(0);
+  for (std::uint64_t cap = 1; cap <= 5; ++cap) {
+    const auto result = computeThroughput(withCapacities(timed, {cap}));
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result.iterationsPerCycle, previous);
+    previous = result.iterationsPerCycle;
+  }
+}
+
+}  // namespace
+}  // namespace mamps::analysis

@@ -1,0 +1,227 @@
+// End-to-end integration tests: the complete flow from interchange-
+// format inputs to generated platform and simulated execution,
+// heterogeneous platforms with multiple actor implementations, and
+// cross-module consistency checks.
+#include <gtest/gtest.h>
+
+#include "apps/mjpeg/actors.hpp"
+#include "apps/mjpeg/testdata.hpp"
+#include "mamps/generator.hpp"
+#include "mapping/flow.hpp"
+#include "platform/arch_template.hpp"
+#include "platform/io.hpp"
+#include "sdf/io.hpp"
+#include "sim/platform_sim.hpp"
+#include "test_util.hpp"
+
+namespace mamps {
+namespace {
+
+// ------------------------------------------------------ XML-driven flow
+
+TEST(IntegrationTest, FlowFromInterchangeFiles) {
+  // The paper's Section 2 point: one common input format feeds both the
+  // mapping and the platform generation tools. Run the whole flow from
+  // serialized inputs.
+  sdf::ApplicationModel original = test::makeAppModel(test::figure2Graph(), {300, 500, 200});
+  original.setThroughputConstraint(Rational(1, 3000));
+  const std::string appXml = sdf::applicationModelToXml(original);
+
+  platform::TemplateRequest request;
+  request.tileCount = 2;
+  const std::string archXml = platform::architectureToXml(platform::generateFromTemplate(request));
+
+  // Both tools parse the same files.
+  const sdf::ApplicationModel app = sdf::applicationModelFromString(appXml);
+  const platform::Architecture arch = platform::architectureFromString(archXml);
+
+  const auto result = mapping::mapApplication(app, arch, {});
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->throughput.ok());
+  EXPECT_TRUE(result->meetsConstraint);
+
+  const gen::PlatformProject project = gen::generatePlatform(app, arch, result->mapping);
+  EXPECT_GE(project.files.size(), 6u);
+
+  sim::PlatformSim simulator(app, arch, result->mapping);
+  const sim::SimResult sim = simulator.run();
+  ASSERT_TRUE(sim.ok());
+  EXPECT_GE(sim.iterationsPerCycle(),
+            result->throughput.iterationsPerCycle.toDouble() * (1 - 1e-9));
+}
+
+// -------------------------------------------------------- Heterogeneity
+
+/// An application where one actor has two implementations: a slow
+/// software one for the Microblaze and a fast one for a hardware IP
+/// tile (Section 3: "the application model can specify multiple
+/// implementations for each actor ... allows the tool flow to map the
+/// actors on a heterogeneous platform").
+sdf::ApplicationModel heterogeneousApp() {
+  sdf::Graph g("hetero");
+  const auto producer = g.addActor("producer");
+  const auto filter = g.addActor("filter");
+  const auto consumer = g.addActor("consumer");
+  g.connect(producer, 1, filter, 1, 0, "in");
+  g.connect(filter, 1, consumer, 1, 0, "out");
+  g.connect(consumer, 1, producer, 1, 4, "window");
+  sdf::ApplicationModel model(std::move(g));
+
+  const auto add = [&model](sdf::ActorId actor, const char* fn, const char* proc,
+                            std::uint64_t wcet, std::vector<sdf::ChannelId> args) {
+    sdf::ActorImplementation impl;
+    impl.functionName = fn;
+    impl.processorType = proc;
+    impl.wcetCycles = wcet;
+    impl.instrMemBytes = 2048;
+    impl.dataMemBytes = 1024;
+    impl.argumentChannels = std::move(args);
+    model.addImplementation(actor, impl);
+  };
+  add(0, "produce", "microblaze", 400, {0});
+  add(2, "consume", "microblaze", 400, {1});
+  // The filter exists for both processor types with very different WCETs.
+  add(1, "filter_sw", "microblaze", 5000, {0, 1});
+  add(1, "filter_hw", "fir_ip", 250, {0, 1});
+  model.setImplicit(2, true);
+  return model;
+}
+
+TEST(IntegrationTest, HeterogeneousPlatformUsesIpImplementation) {
+  const sdf::ApplicationModel app = heterogeneousApp();
+
+  // Homogeneous platform: the filter must fall back to software.
+  platform::TemplateRequest request;
+  request.tileCount = 2;
+  const platform::Architecture softArch = platform::generateFromTemplate(request);
+  const auto soft = mapping::mapApplication(app, softArch, {});
+  ASSERT_TRUE(soft.has_value());
+  ASSERT_TRUE(soft->throughput.ok());
+
+  // Heterogeneous platform: add a hardware IP tile for the filter.
+  platform::Architecture hardArch = softArch;
+  platform::Tile ip;
+  ip.name = "fir0";
+  ip.kind = platform::TileKind::HardwareIp;
+  ip.processorType = "fir_ip";
+  ip.memory = {4 * 1024, 4 * 1024};
+  hardArch.addTile(ip);
+  hardArch.setName("hetero_arch");
+  const auto hard = mapping::mapApplication(app, hardArch, {});
+  ASSERT_TRUE(hard.has_value());
+  ASSERT_TRUE(hard->throughput.ok());
+
+  // The flow selects the correct implementation automatically and the
+  // IP-accelerated platform is strictly faster.
+  const auto filterTile = hard->mapping.actorToTile[1];
+  EXPECT_EQ(hardArch.tile(filterTile).processorType, "fir_ip");
+  EXPECT_GT(hard->throughput.iterationsPerCycle, soft->throughput.iterationsPerCycle);
+}
+
+TEST(IntegrationTest, HeterogeneousGuaranteeHoldsInSimulation) {
+  const sdf::ApplicationModel app = heterogeneousApp();
+  platform::TemplateRequest request;
+  request.tileCount = 2;
+  platform::Architecture arch = platform::generateFromTemplate(request);
+  platform::Tile ip;
+  ip.name = "fir0";
+  ip.kind = platform::TileKind::HardwareIp;
+  ip.processorType = "fir_ip";
+  arch.addTile(ip);
+  const auto result = mapping::mapApplication(app, arch, {});
+  ASSERT_TRUE(result.has_value());
+
+  sim::PlatformSim simulator(app, arch, result->mapping);
+  const sim::SimResult sim = simulator.run();
+  ASSERT_TRUE(sim.ok());
+  EXPECT_GE(sim.iterationsPerCycle(),
+            result->throughput.iterationsPerCycle.toDouble() * (1 - 1e-9));
+}
+
+// --------------------------------------------------- Serialization modes
+
+TEST(IntegrationTest, CommAssistTilesInTemplate) {
+  platform::TemplateRequest request;
+  request.tileCount = 3;
+  request.withCommAssist = true;
+  const platform::Architecture arch = platform::generateFromTemplate(request);
+  const sdf::ApplicationModel app = test::makeAppModel(test::figure2Graph(), {300, 500, 200});
+  mapping::MappingOptions options;
+  options.serialization = comm::SerializationMode::CommAssist;
+  const auto result = mapping::mapApplication(app, arch, options);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->throughput.ok());
+
+  // The generated hardware instantiates the CA blocks.
+  const auto project = gen::generatePlatform(app, arch, result->mapping);
+  EXPECT_NE(project.files.at("hw/system.mhs").find("mamps_comm_assist"), std::string::npos);
+
+  sim::PlatformSim simulator(app, arch, result->mapping);
+  const auto sim = simulator.run();
+  ASSERT_TRUE(sim.ok());
+  EXPECT_GE(sim.iterationsPerCycle(),
+            result->throughput.iterationsPerCycle.toDouble() * (1 - 1e-9));
+}
+
+// ----------------------------------------------- MJPEG project generation
+
+TEST(IntegrationTest, MjpegProjectArtifactsAreComplete) {
+  const auto stream = mjpeg::encodeSequence(mjpeg::makeSyntheticSequence(1, 48, 32), {});
+  const mjpeg::MjpegApp app = mjpeg::buildMjpegApp(mjpeg::calibrateWcets(stream));
+  platform::TemplateRequest request;
+  request.tileCount = 3;
+  const platform::Architecture arch = platform::generateFromTemplate(request);
+  const auto result = mapping::mapApplication(app.model, arch, {});
+  ASSERT_TRUE(result.has_value());
+
+  const auto project = gen::generatePlatform(app.model, arch, result->mapping);
+  // Wrappers for all five actors appear in the per-tile sources.
+  std::string allSources;
+  for (platform::TileId t = 0; t < arch.tileCount(); ++t) {
+    allSources += project.files.at("sw/tile" + std::to_string(t) + "/main.c");
+  }
+  for (const char* actor : {"VLD", "IQZZ", "IDCT", "CC", "Raster"}) {
+    EXPECT_NE(allSources.find("wrap_" + std::string(actor)), std::string::npos) << actor;
+  }
+  // Init functions of the state-carrying actors are invoked.
+  EXPECT_NE(allSources.find("actor_vld_init"), std::string::npos);
+  // The channels header defines every channel of Figure 5.
+  const std::string& header = project.files.at("sw/include/channels.h");
+  for (const char* channel : {"vld2iqzz", "iqzz2idct", "idct2cc", "cc2raster", "subHeader1",
+                              "subHeader2", "vldState", "rasterState"}) {
+    EXPECT_NE(header.find(channel), std::string::npos) << channel;
+  }
+}
+
+// --------------------------------------------- Buffer growth under load
+
+TEST(IntegrationTest, BufferGrowthRescuesTightConstraint) {
+  // A constraint just beyond what minimal buffers deliver forces the
+  // flow's buffer-growth loop to act.
+  sdf::ApplicationModel app = test::makeAppModel(test::figure2Graph(), {300, 500, 200});
+  platform::TemplateRequest request;
+  request.tileCount = 2;
+  const platform::Architecture arch = platform::generateFromTemplate(request);
+
+  mapping::MappingOptions tight;
+  tight.initialBufferScale = 1;
+  tight.bufferGrowthRounds = 0;
+  const auto minimal = mapping::mapApplication(app, arch, tight);
+  ASSERT_TRUE(minimal.has_value());
+  ASSERT_TRUE(minimal->throughput.ok());
+
+  // Demand a bit more than the minimal-buffer mapping achieves.
+  app.setThroughputConstraint(minimal->throughput.iterationsPerCycle * Rational(101, 100));
+  mapping::MappingOptions growing = tight;
+  growing.bufferGrowthRounds = 4;
+  const auto grown = mapping::mapApplication(app, arch, growing);
+  ASSERT_TRUE(grown.has_value());
+  if (grown->meetsConstraint) {
+    EXPECT_GT(grown->throughput.iterationsPerCycle, minimal->throughput.iterationsPerCycle);
+  }
+  // Either way the flow reports the outcome honestly.
+  EXPECT_TRUE(grown->throughput.ok());
+}
+
+}  // namespace
+}  // namespace mamps

@@ -1,0 +1,241 @@
+// Tests for the MAMPS platform generator: memory sizing, hardware and
+// software artifact generation, and the project driver.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "mamps/generator.hpp"
+#include "mamps/hwgen.hpp"
+#include "mamps/memory_map.hpp"
+#include "mamps/project.hpp"
+#include "mamps/swgen.hpp"
+#include "mapping/flow.hpp"
+#include "platform/arch_template.hpp"
+#include "test_util.hpp"
+
+namespace mamps::gen {
+namespace {
+
+using mapping::MappingResult;
+using platform::InterconnectKind;
+
+struct Fixture {
+  sdf::ApplicationModel app;
+  platform::Architecture arch;
+  MappingResult result;
+};
+
+Fixture makeFixture(std::uint32_t tiles, InterconnectKind kind) {
+  Fixture f{test::makeAppModel(test::figure2Graph(), {500, 800, 400}), {}, {}};
+  platform::TemplateRequest request;
+  request.tileCount = tiles;
+  request.interconnect = kind;
+  f.arch = platform::generateFromTemplate(request);
+  auto mapped = mapping::mapApplication(f.app, f.arch, {});
+  if (!mapped) {
+    throw Error("fixture mapping failed");
+  }
+  f.result = std::move(*mapped);
+  return f;
+}
+
+// -------------------------------------------------------------- MemoryMap
+
+TEST(MemoryMapTest, RoundToBramIsPowerOfTwo) {
+  EXPECT_EQ(roundToBram(0), 1024u);
+  EXPECT_EQ(roundToBram(1024), 1024u);
+  EXPECT_EQ(roundToBram(1025), 2048u);
+  EXPECT_EQ(roundToBram(100000), 131072u);
+}
+
+TEST(MemoryMapTest, IncludesRuntimeLayerAndActors) {
+  const Fixture f = makeFixture(2, InterconnectKind::Fsl);
+  const auto maps = computeMemoryMaps(f.app, f.arch, f.result.mapping);
+  ASSERT_EQ(maps.size(), 2u);
+  for (const TileMemoryMap& m : maps) {
+    EXPECT_EQ(m.runtimeInstrBytes, mapping::runtimeLayerInstrBytes());
+    EXPECT_GE(m.instrBytes(), m.runtimeInstrBytes);
+  }
+  // All actor code lives somewhere.
+  std::uint32_t totalActorInstr = 0;
+  for (const TileMemoryMap& m : maps) {
+    totalActorInstr += m.actorInstrBytes;
+  }
+  EXPECT_EQ(totalActorInstr, 3u * 4096u);
+}
+
+TEST(MemoryMapTest, InterTileBuffersSplitAcrossTiles) {
+  const Fixture f = makeFixture(3, InterconnectKind::Fsl);
+  const auto maps = computeMemoryMaps(f.app, f.arch, f.result.mapping);
+  // Every inter-tile channel contributes alpha_src and alpha_dst bytes.
+  std::uint64_t expected = 0;
+  for (sdf::ChannelId c = 0; c < f.app.graph().channelCount(); ++c) {
+    const auto& route = f.result.mapping.channelRoutes[c];
+    const auto& channel = f.app.graph().channel(c);
+    if (route.interTile) {
+      expected += (f.result.mapping.srcBufferTokens[c] + f.result.mapping.dstBufferTokens[c]) *
+                  channel.tokenSizeBytes;
+    } else if (!channel.isSelfEdge()) {
+      expected += f.result.mapping.localCapacityTokens[c] * channel.tokenSizeBytes;
+    } else {
+      expected += channel.initialTokens * channel.tokenSizeBytes;
+    }
+  }
+  std::uint64_t total = 0;
+  for (const TileMemoryMap& m : maps) {
+    total += m.bufferBytes;
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST(MemoryMapTest, OverflowDetected) {
+  Fixture f = makeFixture(1, InterconnectKind::Fsl);
+  // Shrink the tile below what is needed.
+  platform::Architecture tiny("tiny");
+  platform::Tile t = f.arch.tile(0);
+  t.memory = {8 * 1024, 2 * 1024};
+  tiny.addTile(t);
+  EXPECT_THROW(computeMemoryMaps(f.app, tiny, f.result.mapping), GenerationError);
+}
+
+// ------------------------------------------------------------------ HW gen
+
+TEST(HwGenTest, MhsListsAllTilesAndLinks) {
+  const Fixture f = makeFixture(2, InterconnectKind::Fsl);
+  const auto maps = computeMemoryMaps(f.app, f.arch, f.result.mapping);
+  const std::string mhs = generateSystemMhs(f.app, f.arch, f.result.mapping, maps);
+  EXPECT_NE(mhs.find("tile0_pe"), std::string::npos);
+  EXPECT_NE(mhs.find("tile1_pe"), std::string::npos);
+  EXPECT_NE(mhs.find("xps_uartlite"), std::string::npos);  // master peripherals
+  // One FSL instance per inter-tile channel.
+  std::size_t fslCount = 0;
+  for (const auto& route : f.result.mapping.channelRoutes) {
+    fslCount += route.interTile ? 1 : 0;
+  }
+  std::size_t found = 0;
+  for (std::size_t pos = 0; (pos = mhs.find("BEGIN fsl_v20", pos)) != std::string::npos; ++pos) {
+    ++found;
+  }
+  EXPECT_EQ(found, fslCount);
+}
+
+TEST(HwGenTest, NocMhsDescribesMesh) {
+  const Fixture f = makeFixture(4, InterconnectKind::NocMesh);
+  const auto maps = computeMemoryMaps(f.app, f.arch, f.result.mapping);
+  const std::string mhs = generateSystemMhs(f.app, f.arch, f.result.mapping, maps);
+  EXPECT_NE(mhs.find("sdm_noc"), std::string::npos);
+  EXPECT_NE(mhs.find("C_ROWS = 2"), std::string::npos);
+  EXPECT_NE(mhs.find("C_COLS = 2"), std::string::npos);
+  EXPECT_NE(mhs.find("C_FLOW_CONTROL = 1"), std::string::npos);
+}
+
+TEST(HwGenTest, VhdlMentionsRoutersAndConnections) {
+  const Fixture f = makeFixture(4, InterconnectKind::NocMesh);
+  const std::string vhdl = generateInterconnectVhdl(f.app, f.arch, f.result.mapping);
+  EXPECT_NE(vhdl.find("router_0"), std::string::npos);
+  EXPECT_NE(vhdl.find("router_3"), std::string::npos);
+  EXPECT_NE(vhdl.find("wires"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ SW gen
+
+TEST(SwGenTest, ChannelsHeaderHasAllChannels) {
+  const Fixture f = makeFixture(2, InterconnectKind::Fsl);
+  const std::string header = generateChannelsHeader(f.app, f.arch, f.result.mapping);
+  for (const sdf::Channel& c : f.app.graph().channels()) {
+    EXPECT_NE(header.find(c.name), std::string::npos) << c.name;
+  }
+  EXPECT_NE(header.find("TOKEN_SIZE_"), std::string::npos);
+}
+
+TEST(SwGenTest, TileMainContainsScheduleInOrder) {
+  const Fixture f = makeFixture(1, InterconnectKind::Fsl);
+  const std::string main0 = generateTileMain(f.app, f.arch, f.result.mapping, 0);
+  // Schedule table must list one wrapper call per firing, in order.
+  const auto& schedule = f.result.mapping.schedules[0];
+  std::size_t pos = main0.find("schedule[");
+  ASSERT_NE(pos, std::string::npos);
+  for (const sdf::ActorId a : schedule) {
+    const std::string entry = "wrap_" + f.app.graph().actor(a).name + ",";
+    pos = main0.find(entry, pos);
+    EXPECT_NE(pos, std::string::npos) << entry;
+  }
+}
+
+TEST(SwGenTest, WrappersSendAndReceiveInterTileTokens) {
+  const Fixture f = makeFixture(3, InterconnectKind::Fsl);
+  bool sawSend = false;
+  bool sawReceive = false;
+  for (platform::TileId t = 0; t < f.arch.tileCount(); ++t) {
+    const std::string code = generateTileMain(f.app, f.arch, f.result.mapping, t);
+    sawSend = sawSend || code.find("mamps_send_token") != std::string::npos;
+    sawReceive = sawReceive || code.find("mamps_receive_token") != std::string::npos;
+  }
+  EXPECT_TRUE(sawSend);
+  EXPECT_TRUE(sawReceive);
+}
+
+TEST(SwGenTest, MainLoopIsEndless) {
+  const Fixture f = makeFixture(1, InterconnectKind::Fsl);
+  const std::string code = generateTileMain(f.app, f.arch, f.result.mapping, 0);
+  EXPECT_NE(code.find("for (;;)"), std::string::npos);
+  EXPECT_NE(code.find("mamps_runtime_init"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- Project
+
+TEST(ProjectTest, TclTargetsVirtex6) {
+  const Fixture f = makeFixture(2, InterconnectKind::Fsl);
+  const std::string tcl = generateXpsTcl(f.arch);
+  EXPECT_NE(tcl.find("virtex6"), std::string::npos);
+  EXPECT_NE(tcl.find("run bits"), std::string::npos);
+  EXPECT_NE(tcl.find("tile0_sw"), std::string::npos);
+  EXPECT_NE(tcl.find("tile1_sw"), std::string::npos);
+}
+
+TEST(ProjectTest, ManifestDescribesBinding) {
+  const Fixture f = makeFixture(2, InterconnectKind::Fsl);
+  const std::string manifest = generateManifest(f.app, f.arch, f.result.mapping);
+  for (const sdf::Actor& a : f.app.graph().actors()) {
+    EXPECT_NE(manifest.find(a.name), std::string::npos);
+  }
+}
+
+TEST(GeneratorTest, ProducesAllArtifacts) {
+  const Fixture f = makeFixture(2, InterconnectKind::Fsl);
+  const PlatformProject project = generatePlatform(f.app, f.arch, f.result.mapping);
+  EXPECT_TRUE(project.files.contains("hw/system.mhs"));
+  EXPECT_TRUE(project.files.contains("hw/interconnect.vhd"));
+  EXPECT_TRUE(project.files.contains("sw/include/channels.h"));
+  EXPECT_TRUE(project.files.contains("sw/tile0/main.c"));
+  EXPECT_TRUE(project.files.contains("sw/tile1/main.c"));
+  EXPECT_TRUE(project.files.contains("build.tcl"));
+  EXPECT_TRUE(project.files.contains("MANIFEST.txt"));
+  EXPECT_GT(project.generationTime.count(), 0.0);
+}
+
+TEST(GeneratorTest, WritesFilesToDisk) {
+  const Fixture f = makeFixture(2, InterconnectKind::Fsl);
+  const PlatformProject project = generatePlatform(f.app, f.arch, f.result.mapping);
+  const auto dir = std::filesystem::temp_directory_path() / "mamps_gen_test";
+  std::filesystem::remove_all(dir);
+  project.writeTo(dir.string());
+  EXPECT_TRUE(std::filesystem::exists(dir / "hw" / "system.mhs"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "sw" / "tile0" / "main.c"));
+  std::ifstream in(dir / "MANIFEST.txt");
+  std::string firstLine;
+  std::getline(in, firstLine);
+  EXPECT_EQ(firstLine, "MAMPS project manifest");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GeneratorTest, MismatchedMappingRejected) {
+  const Fixture f = makeFixture(2, InterconnectKind::Fsl);
+  mapping::Mapping broken = f.result.mapping;
+  broken.actorToTile.pop_back();
+  EXPECT_THROW(generatePlatform(f.app, f.arch, broken), GenerationError);
+}
+
+}  // namespace
+}  // namespace mamps::gen

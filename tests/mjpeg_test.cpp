@@ -1,0 +1,362 @@
+// Tests for the MJPEG case study: codec primitives, encoder/decoder
+// round trips, the Figure 5 application model, and the full flow with
+// functional verification on the simulated platform.
+#include <gtest/gtest.h>
+
+#include "apps/mjpeg/actors.hpp"
+#include "apps/mjpeg/bitio.hpp"
+#include "apps/mjpeg/cost_model.hpp"
+#include "apps/mjpeg/dct.hpp"
+#include "apps/mjpeg/encoder.hpp"
+#include "apps/mjpeg/tables.hpp"
+#include "apps/mjpeg/testdata.hpp"
+#include "mapping/flow.hpp"
+#include "platform/arch_template.hpp"
+#include "sdf/repetition_vector.hpp"
+#include "sim/platform_sim.hpp"
+#include "support/rng.hpp"
+
+namespace mamps::mjpeg {
+namespace {
+
+// ------------------------------------------------------------------- BitIO
+
+TEST(BitIoTest, RoundTripBits) {
+  BitWriter writer;
+  writer.putBits(0b1011, 4);
+  writer.putBits(0x1234, 16);
+  writer.putBit(false);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes.data(), bytes.size());
+  EXPECT_EQ(reader.getBits(4), 0b1011u);
+  EXPECT_EQ(reader.getBits(16), 0x1234u);
+  EXPECT_FALSE(reader.getBit());
+}
+
+TEST(BitIoTest, ReadPastEndThrows) {
+  BitWriter writer;
+  writer.putBits(0xff, 8);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes.data(), bytes.size());
+  (void)reader.getBits(8);
+  EXPECT_THROW((void)reader.getBit(), Error);
+}
+
+// ------------------------------------------------------------------ Tables
+
+TEST(TablesTest, ZigzagIsAPermutation) {
+  std::array<bool, 64> seen{};
+  for (const auto idx : kZigzagOrder) {
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+TEST(TablesTest, ZigzagStartsCorrectly) {
+  EXPECT_EQ(kZigzagOrder[0], 0);
+  EXPECT_EQ(kZigzagOrder[1], 1);
+  EXPECT_EQ(kZigzagOrder[2], 8);
+  EXPECT_EQ(kZigzagOrder[63], 63);
+}
+
+TEST(TablesTest, QuantScaling) {
+  const auto q50 = scaledQuantTable(kLumaQuant, 50);
+  EXPECT_EQ(q50[0], kLumaQuant[0]);
+  const auto q90 = scaledQuantTable(kLumaQuant, 90);
+  EXPECT_LT(q90[0], q50[0]);
+  const auto q10 = scaledQuantTable(kLumaQuant, 10);
+  EXPECT_GT(q10[0], q50[0]);
+  for (const auto v : scaledQuantTable(kLumaQuant, 100)) {
+    EXPECT_GE(v, 1);
+  }
+}
+
+TEST(TablesTest, HuffmanEncodeDecodeRoundTrip) {
+  // Every symbol of every table must decode back to itself.
+  struct Source {
+    std::vector<bool> bits;
+    std::size_t pos = 0;
+    bool getBit() { return bits.at(pos++); }
+  };
+  const auto check = [](const HuffmanTable& table, const std::vector<std::uint8_t>& symbols) {
+    for (const std::uint8_t symbol : symbols) {
+      const auto code = table.encode(symbol);
+      Source source;
+      for (int i = code.length - 1; i >= 0; --i) {
+        source.bits.push_back(((code.code >> i) & 1) != 0);
+      }
+      EXPECT_EQ(table.decode(source), symbol);
+    }
+  };
+  std::vector<std::uint8_t> dcSymbols;
+  for (std::uint8_t s = 0; s <= 11; ++s) {
+    dcSymbols.push_back(s);
+  }
+  check(lumaDcTable(), dcSymbols);
+  check(chromaDcTable(), dcSymbols);
+  check(lumaAcTable(), {0x00, 0x01, 0x11, 0xf0, 0xfa, 0x23});
+  check(chromaAcTable(), {0x00, 0x01, 0x11, 0xf0, 0xfa, 0x23});
+}
+
+TEST(TablesTest, MagnitudeRoundTrip) {
+  for (int v = -255; v <= 255; ++v) {
+    const std::uint8_t cat = magnitudeCategory(v);
+    EXPECT_EQ(extendMagnitude(magnitudeBits(v, cat), cat), v) << v;
+  }
+  EXPECT_EQ(magnitudeCategory(0), 0);
+  EXPECT_EQ(magnitudeCategory(1), 1);
+  EXPECT_EQ(magnitudeCategory(-1), 1);
+  EXPECT_EQ(magnitudeCategory(255), 8);
+}
+
+// --------------------------------------------------------------------- DCT
+
+TEST(DctTest, IdctMatchesReference) {
+  mamps::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Sparse, realistically-sized spectra (dense +/-200 blocks would
+    // exceed the sample range and only exercise the clamp).
+    Block freq{};
+    freq[0] = static_cast<std::int16_t>(static_cast<std::int64_t>(rng.range(0, 1600)) - 800);
+    for (int k = 0; k < 10; ++k) {
+      freq[rng.range(1, 63)] =
+          static_cast<std::int16_t>(static_cast<std::int64_t>(rng.range(0, 160)) - 80);
+    }
+    std::array<std::int16_t, 64> fixed{};
+    inverseDct(freq, fixed);
+    std::array<double, 64> reference{};
+    inverseDctReference(freq, reference);
+    for (std::size_t i = 0; i < 64; ++i) {
+      const double clamped = std::clamp(reference[i], -256.0, 255.0);
+      EXPECT_NEAR(fixed[i], clamped, 2.0) << "coefficient " << i;
+    }
+  }
+}
+
+TEST(DctTest, ForwardInverseRoundTrip) {
+  mamps::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::array<std::int16_t, 64> spatial{};
+    for (auto& v : spatial) {
+      v = static_cast<std::int16_t>(static_cast<std::int64_t>(rng.range(0, 255)) - 128);
+    }
+    Block freq{};
+    forwardDct(spatial, freq);
+    std::array<std::int16_t, 64> back{};
+    inverseDct(freq, back);
+    for (std::size_t i = 0; i < 64; ++i) {
+      EXPECT_NEAR(back[i], spatial[i], 3) << "sample " << i;
+    }
+  }
+}
+
+TEST(DctTest, FlatBlockHasOnlyDc) {
+  std::array<std::int16_t, 64> spatial{};
+  spatial.fill(64);
+  Block freq{};
+  forwardDct(spatial, freq);
+  EXPECT_NEAR(freq[0], 64 * 8, 8);  // DC = mean * 8
+  for (std::size_t i = 1; i < 64; ++i) {
+    EXPECT_NEAR(freq[i], 0, 2);
+  }
+  EXPECT_LE(nonZeroCount(freq), 3u);
+}
+
+// ------------------------------------------------------------------- Codec
+
+TEST(CodecTest, EncodeDecodeRoundTripIsClose) {
+  const auto frames = makeTestSequence("gradient", 2, 48, 32);
+  EncoderOptions options;
+  options.quality = 90;
+  const auto stream = encodeSequence(frames, options);
+  const auto decoded = referenceDecode(stream);
+  ASSERT_EQ(decoded.size(), 2u);
+  // Lossy codec: expect bounded per-pixel error on smooth content.
+  double totalError = 0;
+  std::size_t samples = 0;
+  for (std::size_t f = 0; f < decoded.size(); ++f) {
+    ASSERT_GE(decoded[f].width, frames[f].width);
+    for (std::uint32_t y = 0; y < frames[f].height; ++y) {
+      for (std::uint32_t x = 0; x < frames[f].width; ++x) {
+        for (int ch = 0; ch < 3; ++ch) {
+          const int a = frames[f].rgb[(y * frames[f].width + x) * 3 + ch];
+          const int b = decoded[f].rgb[(y * decoded[f].width + x) * 3 + ch];
+          totalError += std::abs(a - b);
+          ++samples;
+        }
+      }
+    }
+  }
+  EXPECT_LT(totalError / static_cast<double>(samples), 12.0);
+}
+
+TEST(CodecTest, AllSamplingsDecode) {
+  for (const Sampling s :
+       {Sampling::Yuv444, Sampling::Yuv422, Sampling::Yuv420, Sampling::Yuv410}) {
+    const auto frames = makeTestSequence("checker", 1, 32, 32);
+    EncoderOptions options;
+    options.sampling = s;
+    const auto stream = encodeSequence(frames, options);
+    const auto decoded = referenceDecode(stream);
+    ASSERT_EQ(decoded.size(), 1u) << "sampling " << static_cast<int>(s);
+    EXPECT_GE(decoded[0].width, 32u);
+  }
+}
+
+TEST(CodecTest, HigherQualityIsMoreAccurate) {
+  const auto frames = makeTestSequence("plasma", 1, 32, 32);
+  const auto errorAt = [&](std::uint8_t quality) {
+    EncoderOptions options;
+    options.quality = quality;
+    const auto decoded = referenceDecode(encodeSequence(frames, options));
+    double err = 0;
+    for (std::size_t i = 0; i < frames[0].rgb.size(); ++i) {
+      err += std::abs(static_cast<int>(frames[0].rgb[i]) -
+                      static_cast<int>(decoded[0].rgb[i]));
+    }
+    return err;
+  };
+  EXPECT_LT(errorAt(95), errorAt(25));
+}
+
+TEST(CodecTest, SyntheticSequenceHasHigherEntropy) {
+  // Random data must cost more bits than smooth data (this drives the
+  // worst-case-vs-measured gap of Figure 6).
+  const auto smooth = makeTestSequence("gradient", 1, 48, 32);
+  const auto noisy = makeSyntheticSequence(1, 48, 32);
+  EncoderOptions options;
+  EXPECT_GT(encodeSequence(noisy, options).size(), encodeSequence(smooth, options).size());
+}
+
+// ----------------------------------------------------------------- AppModel
+
+TEST(MjpegAppTest, RepetitionVectorMatchesFigure5) {
+  const MjpegApp app = buildMjpegApp({1000, 100, 500, 300, 100});
+  const auto q = sdf::computeRepetitionVector(app.model.graph());
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ((*q)[app.vld], 1u);
+  EXPECT_EQ((*q)[app.iqzz], 10u);
+  EXPECT_EQ((*q)[app.idct], 10u);
+  EXPECT_EQ((*q)[app.cc], 1u);
+  EXPECT_EQ((*q)[app.raster], 1u);
+}
+
+TEST(MjpegAppTest, StateEdgesAreImplicit) {
+  const MjpegApp app = buildMjpegApp({1, 1, 1, 1, 1});
+  EXPECT_TRUE(app.model.isImplicit(app.vldState));
+  EXPECT_TRUE(app.model.isImplicit(app.rasterState));
+  EXPECT_TRUE(app.model.isExplicit(app.vld2iqzz));
+  EXPECT_TRUE(app.model.isExplicit(app.subHeader1));
+  app.model.validate();
+}
+
+TEST(MjpegAppTest, WcetCalibrationCoversMeasurement) {
+  const auto stream = encodeSequence(makeSyntheticSequence(1, 48, 32), {});
+  const MjpegWcets measured = measureCosts(stream);
+  const MjpegWcets wcets = calibrateWcets(stream, 10);
+  EXPECT_GT(wcets.vld, measured.vld);
+  EXPECT_GT(wcets.idct, measured.idct);
+  EXPECT_GT(measured.vld, 0u);
+  EXPECT_GT(measured.raster, 0u);
+}
+
+TEST(MjpegAppTest, RandomDataCostsMoreThanSmoothData) {
+  const auto smooth = encodeSequence(makeTestSequence("gradient", 1, 48, 32), {});
+  const auto noisy = encodeSequence(makeSyntheticSequence(1, 48, 32), {});
+  EXPECT_GT(measureCosts(noisy).vld, measureCosts(smooth).vld);
+}
+
+// -------------------------------------------------------- Platform decode
+
+struct MjpegDeployment {
+  MjpegApp app;
+  platform::Architecture arch;
+  mapping::MappingResult result;
+  std::vector<std::uint8_t> stream;
+};
+
+MjpegDeployment deployMjpeg(platform::InterconnectKind kind, std::uint32_t tiles,
+                            const std::string& sequence) {
+  const auto frames = sequence == "synthetic" ? makeSyntheticSequence(2, 48, 32)
+                                              : makeTestSequence(sequence, 2, 48, 32);
+  MjpegDeployment d;
+  d.stream = encodeSequence(frames, {});
+  const auto calibration = encodeSequence(makeSyntheticSequence(2, 48, 32), {});
+  d.app = buildMjpegApp(calibrateWcets(calibration));
+  platform::TemplateRequest request;
+  request.tileCount = tiles;
+  request.interconnect = kind;
+  d.arch = platform::generateFromTemplate(request);
+  auto mapped = mapping::mapApplication(d.app.model, d.arch, {});
+  if (!mapped) {
+    throw Error("deployMjpeg: mapping failed");
+  }
+  d.result = std::move(*mapped);
+  return d;
+}
+
+TEST(MjpegPlatformTest, DecodedFramesMatchReference) {
+  const MjpegDeployment d = deployMjpeg(platform::InterconnectKind::Fsl, 3, "plasma");
+  sim::PlatformSim simulator(d.app.model, d.arch, d.result.mapping);
+  const MjpegBehaviors handles = attachMjpegBehaviors(simulator, d.app, d.stream);
+  sim::SimOptions options;
+  options.warmupIterations = 0;
+  // Two 48x32 frames are 12 MCUs; run a few more so the pipeline tail
+  // (Raster) drains past the second frame boundary.
+  options.measureIterations = 16;
+  const sim::SimResult result = simulator.run(options);
+  ASSERT_TRUE(result.ok());
+
+  const auto reference = referenceDecode(d.stream);
+  const auto& decoded = handles.raster->frames();
+  ASSERT_GE(decoded.size(), 2u);
+  ASSERT_EQ(reference.size(), 2u);
+  for (std::size_t f = 0; f < 2; ++f) {
+    ASSERT_EQ(decoded[f].width, reference[f].width);
+    ASSERT_EQ(decoded[f].height, reference[f].height);
+    EXPECT_EQ(decoded[f].rgb, reference[f].rgb) << "frame " << f;
+  }
+}
+
+TEST(MjpegPlatformTest, DecodedFramesMatchReferenceOnNoc) {
+  const MjpegDeployment d = deployMjpeg(platform::InterconnectKind::NocMesh, 3, "checker");
+  sim::PlatformSim simulator(d.app.model, d.arch, d.result.mapping);
+  const MjpegBehaviors handles = attachMjpegBehaviors(simulator, d.app, d.stream);
+  sim::SimOptions options;
+  options.warmupIterations = 0;
+  options.measureIterations = 12;
+  const sim::SimResult result = simulator.run(options);
+  ASSERT_TRUE(result.ok());
+  const auto reference = referenceDecode(d.stream);
+  ASSERT_GE(handles.raster->frames().size(), 1u);
+  EXPECT_EQ(handles.raster->frames()[0].rgb, reference[0].rgb);
+}
+
+class MjpegGuaranteeTest
+    : public ::testing::TestWithParam<std::tuple<platform::InterconnectKind, std::string>> {};
+
+TEST_P(MjpegGuaranteeTest, MeasuredThroughputAtLeastGuaranteed) {
+  const auto [kind, sequence] = GetParam();
+  const MjpegDeployment d = deployMjpeg(kind, 3, sequence);
+  ASSERT_TRUE(d.result.throughput.ok());
+  sim::PlatformSim simulator(d.app.model, d.arch, d.result.mapping);
+  attachMjpegBehaviors(simulator, d.app, d.stream);
+  sim::SimOptions options;
+  options.warmupIterations = 2;
+  options.measureIterations = 20;
+  const sim::SimResult result = simulator.run(options);
+  ASSERT_TRUE(result.ok());
+  const double bound = d.result.throughput.iterationsPerCycle.toDouble();
+  EXPECT_GE(result.iterationsPerCycle(), bound * (1.0 - 1e-9))
+      << "sequence " << sequence;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, MjpegGuaranteeTest,
+    ::testing::Combine(::testing::Values(platform::InterconnectKind::Fsl,
+                                         platform::InterconnectKind::NocMesh),
+                       ::testing::Values(std::string("synthetic"), std::string("gradient"),
+                                         std::string("stripes"))));
+
+}  // namespace
+}  // namespace mamps::mjpeg

@@ -1,0 +1,327 @@
+// Unit tests for the platform module: architecture model, template
+// generation, NoC topology/wire allocation, and the area model.
+#include <gtest/gtest.h>
+
+#include "platform/arch_template.hpp"
+#include "platform/architecture.hpp"
+#include "platform/area.hpp"
+#include "platform/io.hpp"
+#include "platform/noc_topology.hpp"
+
+namespace mamps::platform {
+namespace {
+
+// ------------------------------------------------------------ Architecture
+
+TEST(ArchitectureTest, AddTiles) {
+  Architecture arch("a");
+  Tile t;
+  t.name = "tile0";
+  t.kind = TileKind::Master;
+  const TileId id = arch.addTile(t);
+  EXPECT_EQ(arch.tileCount(), 1u);
+  EXPECT_EQ(arch.tile(id).name, "tile0");
+  EXPECT_TRUE(arch.tile(id).hasPeripherals());
+}
+
+TEST(ArchitectureTest, DuplicateTileNameThrows) {
+  Architecture arch;
+  Tile t;
+  t.name = "x";
+  arch.addTile(t);
+  EXPECT_THROW(arch.addTile(t), ModelError);
+}
+
+TEST(ArchitectureTest, MemoryLimitEnforced) {
+  Architecture arch;
+  Tile t;
+  t.name = "big";
+  t.memory = {200 * 1024, 100 * 1024};  // 300 kB > 256 kB
+  EXPECT_THROW(arch.addTile(t), ModelError);
+}
+
+TEST(ArchitectureTest, AtMostOneMaster) {
+  Architecture arch;
+  Tile a;
+  a.name = "m1";
+  a.kind = TileKind::Master;
+  Tile b;
+  b.name = "m2";
+  b.kind = TileKind::Master;
+  arch.addTile(a);
+  arch.addTile(b);
+  EXPECT_THROW(arch.validate(), ModelError);
+}
+
+TEST(ArchitectureTest, NocMeshMustCoverTiles) {
+  Architecture arch;
+  for (int i = 0; i < 5; ++i) {
+    Tile t;
+    t.name = "t" + std::to_string(i);
+    arch.addTile(t);
+  }
+  arch.setInterconnect(InterconnectKind::NocMesh);
+  arch.noc().rows = 2;
+  arch.noc().cols = 2;  // 4 < 5 tiles
+  EXPECT_THROW(arch.validate(), ModelError);
+  arch.noc().cols = 3;
+  EXPECT_NO_THROW(arch.validate());
+}
+
+TEST(ArchitectureTest, KindNamesRoundTrip) {
+  for (const TileKind kind : {TileKind::Master, TileKind::Slave, TileKind::CommAssist,
+                              TileKind::HardwareIp}) {
+    EXPECT_EQ(tileKindFromName(tileKindName(kind)), kind);
+  }
+  EXPECT_THROW(tileKindFromName("bogus"), ParseError);
+  for (const InterconnectKind kind : {InterconnectKind::Fsl, InterconnectKind::NocMesh}) {
+    EXPECT_EQ(interconnectKindFromName(interconnectKindName(kind)), kind);
+  }
+}
+
+// ---------------------------------------------------------------- Template
+
+TEST(TemplateTest, GeneratesRequestedTileCount) {
+  TemplateRequest request;
+  request.tileCount = 4;
+  const Architecture arch = generateFromTemplate(request);
+  EXPECT_EQ(arch.tileCount(), 4u);
+  EXPECT_EQ(arch.tile(0).kind, TileKind::Master);
+  EXPECT_EQ(arch.tile(1).kind, TileKind::Slave);
+}
+
+TEST(TemplateTest, CommAssistTiles) {
+  TemplateRequest request;
+  request.tileCount = 3;
+  request.withCommAssist = true;
+  const Architecture arch = generateFromTemplate(request);
+  EXPECT_EQ(arch.tile(0).kind, TileKind::Master);
+  EXPECT_EQ(arch.tile(1).kind, TileKind::CommAssist);
+  EXPECT_EQ(arch.tile(2).kind, TileKind::CommAssist);
+}
+
+TEST(TemplateTest, NocMeshNearSquare) {
+  TemplateRequest request;
+  request.tileCount = 6;
+  request.interconnect = InterconnectKind::NocMesh;
+  const Architecture arch = generateFromTemplate(request);
+  EXPECT_EQ(arch.noc().rows * arch.noc().cols, 6u);
+  EXPECT_EQ(arch.noc().rows, 2u);
+  EXPECT_EQ(arch.noc().cols, 3u);
+}
+
+TEST(TemplateTest, ZeroTilesThrows) {
+  TemplateRequest request;
+  request.tileCount = 0;
+  EXPECT_THROW(generateFromTemplate(request), ModelError);
+}
+
+class NearSquareTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(NearSquareTest, CoversAndStaysNearSquare) {
+  const std::uint32_t n = GetParam();
+  const auto [rows, cols] = nearSquareMesh(n);
+  EXPECT_GE(rows * cols, n);
+  EXPECT_LE(rows, cols);
+  // Near-square: the aspect gap stays small.
+  EXPECT_LE(cols - rows, (n < 4 ? 3u : (cols + 1) / 2));
+  // Minimality of the column count for the chosen row count.
+  if (n > 0) {
+    EXPECT_LT(rows * (cols - 1), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NearSquareTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16, 17, 25, 60));
+
+// ------------------------------------------------------------ NocTopology
+
+TEST(NocTopologyTest, LinkEnumeration) {
+  NocConfig config;
+  config.rows = 2;
+  config.cols = 2;
+  const NocTopology topo(config);
+  EXPECT_EQ(topo.routerCount(), 4u);
+  // 2x2 mesh: 4 undirected edges -> 8 directed links.
+  EXPECT_EQ(topo.linkCount(), 8u);
+}
+
+TEST(NocTopologyTest, CoordMapping) {
+  NocConfig config;
+  config.rows = 2;
+  config.cols = 3;
+  const NocTopology topo(config);
+  EXPECT_EQ(topo.coordOf(0), (MeshCoord{0, 0}));
+  EXPECT_EQ(topo.coordOf(4), (MeshCoord{1, 1}));
+  EXPECT_EQ(topo.routerAt({2, 1}), 5u);
+  EXPECT_THROW(topo.coordOf(6), ModelError);
+}
+
+TEST(NocTopologyTest, XyRouteGoesXFirst) {
+  NocConfig config;
+  config.rows = 3;
+  config.cols = 3;
+  const NocTopology topo(config);
+  // Router 0 (0,0) to router 8 (2,2): x,x then y,y.
+  const auto route = topo.xyRoute(0, 8);
+  ASSERT_EQ(route.size(), 4u);
+  EXPECT_EQ(topo.link(route[0]).fromRouter, 0u);
+  EXPECT_EQ(topo.link(route[0]).toRouter, 1u);
+  EXPECT_EQ(topo.link(route[1]).toRouter, 2u);
+  EXPECT_EQ(topo.link(route[2]).toRouter, 5u);
+  EXPECT_EQ(topo.link(route[3]).toRouter, 8u);
+}
+
+TEST(NocTopologyTest, RouteLengthEqualsHopDistance) {
+  NocConfig config;
+  config.rows = 3;
+  config.cols = 4;
+  const NocTopology topo(config);
+  for (std::uint32_t a = 0; a < topo.routerCount(); ++a) {
+    for (std::uint32_t b = 0; b < topo.routerCount(); ++b) {
+      EXPECT_EQ(topo.xyRoute(a, b).size(), topo.hopDistance(a, b));
+    }
+  }
+}
+
+TEST(NocTopologyTest, EmptyRouteForSameRouter) {
+  NocConfig config;
+  config.rows = 2;
+  config.cols = 2;
+  const NocTopology topo(config);
+  EXPECT_TRUE(topo.xyRoute(3, 3).empty());
+}
+
+// ----------------------------------------------------------- WireAllocator
+
+TEST(WireAllocatorTest, ReserveAndRelease) {
+  NocConfig config;
+  config.rows = 1;
+  config.cols = 2;
+  config.wiresPerLink = 8;
+  const NocTopology topo(config);
+  WireAllocator alloc(topo);
+  const auto route = topo.xyRoute(0, 1);
+  ASSERT_EQ(route.size(), 1u);
+  EXPECT_TRUE(alloc.reserve(route, 5));
+  EXPECT_EQ(alloc.usedWires(route[0]), 5u);
+  EXPECT_EQ(alloc.freeWires(route[0]), 3u);
+  EXPECT_FALSE(alloc.reserve(route, 4));  // only 3 left
+  EXPECT_TRUE(alloc.reserve(route, 3));
+  alloc.release(route, 5);
+  EXPECT_EQ(alloc.freeWires(route[0]), 5u);
+}
+
+TEST(WireAllocatorTest, FailedReserveChangesNothing) {
+  NocConfig config;
+  config.rows = 1;
+  config.cols = 3;
+  config.wiresPerLink = 4;
+  const NocTopology topo(config);
+  WireAllocator alloc(topo);
+  const auto longRoute = topo.xyRoute(0, 2);
+  const auto shortRoute = topo.xyRoute(1, 2);
+  ASSERT_TRUE(alloc.reserve(shortRoute, 3));
+  // Long route needs 4 on both links but the second has only 1 free.
+  EXPECT_FALSE(alloc.reserve(longRoute, 4));
+  EXPECT_EQ(alloc.usedWires(longRoute[0]), 0u);  // first link untouched
+}
+
+TEST(WireAllocatorTest, ReleaseTooMuchThrows) {
+  NocConfig config;
+  config.rows = 1;
+  config.cols = 2;
+  const NocTopology topo(config);
+  WireAllocator alloc(topo);
+  EXPECT_THROW(alloc.release(topo.xyRoute(0, 1), 1), ModelError);
+}
+
+TEST(WireAllocatorTest, CyclesPerWord) {
+  EXPECT_EQ(WireAllocator::cyclesPerWord(32), 1u);
+  EXPECT_EQ(WireAllocator::cyclesPerWord(16), 2u);
+  EXPECT_EQ(WireAllocator::cyclesPerWord(8), 4u);
+  EXPECT_EQ(WireAllocator::cyclesPerWord(1), 32u);
+  EXPECT_EQ(WireAllocator::cyclesPerWord(5), 7u);
+  EXPECT_THROW(WireAllocator::cyclesPerWord(0), ModelError);
+}
+
+// -------------------------------------------------------------------- Area
+
+TEST(AreaTest, FlowControlAddsTwelvePercent) {
+  NocConfig with;
+  with.flowControl = true;
+  NocConfig without = with;
+  without.flowControl = false;
+  const double ratio = static_cast<double>(nocRouterSlices(with)) /
+                       static_cast<double>(nocRouterSlices(without));
+  EXPECT_NEAR(ratio, 1.12, 0.005);
+}
+
+TEST(AreaTest, TileKindsHaveDistinctAreas) {
+  Tile master{.name = "m", .kind = TileKind::Master};
+  Tile slave{.name = "s", .kind = TileKind::Slave};
+  Tile ca{.name = "c", .kind = TileKind::CommAssist};
+  Tile ip{.name = "i", .kind = TileKind::HardwareIp};
+  EXPECT_GT(tileSlices(master), tileSlices(slave));
+  EXPECT_GT(tileSlices(ca), tileSlices(slave));
+  EXPECT_LT(tileSlices(ip), tileSlices(slave));
+}
+
+TEST(AreaTest, PlatformAreaSumsComponents) {
+  TemplateRequest request;
+  request.tileCount = 2;
+  const Architecture arch = generateFromTemplate(request);
+  const std::uint32_t total = platformSlices(arch, /*fslLinkCount=*/3);
+  const AreaModel model;
+  EXPECT_EQ(total, tileSlices(arch.tile(0)) + tileSlices(arch.tile(1)) + 3 * model.fslLinkSlices);
+}
+
+TEST(AreaTest, NocAreaScalesWithMesh) {
+  TemplateRequest request;
+  request.tileCount = 4;
+  request.interconnect = InterconnectKind::NocMesh;
+  const Architecture small = generateFromTemplate(request);
+  request.tileCount = 9;
+  const Architecture large = generateFromTemplate(request);
+  EXPECT_GT(interconnectSlices(large, 0), interconnectSlices(small, 0));
+}
+
+// ---------------------------------------------------------------------- IO
+
+TEST(PlatformIoTest, ArchitectureRoundTripFsl) {
+  TemplateRequest request;
+  request.tileCount = 3;
+  const Architecture original = generateFromTemplate(request);
+  const Architecture reparsed = architectureFromString(architectureToXml(original));
+  EXPECT_EQ(reparsed.name(), original.name());
+  ASSERT_EQ(reparsed.tileCount(), original.tileCount());
+  for (TileId t = 0; t < original.tileCount(); ++t) {
+    EXPECT_EQ(reparsed.tile(t).name, original.tile(t).name);
+    EXPECT_EQ(reparsed.tile(t).kind, original.tile(t).kind);
+    EXPECT_EQ(reparsed.tile(t).memory.instrBytes, original.tile(t).memory.instrBytes);
+  }
+  EXPECT_EQ(reparsed.interconnect(), InterconnectKind::Fsl);
+  EXPECT_EQ(reparsed.fsl().fifoDepthWords, original.fsl().fifoDepthWords);
+}
+
+TEST(PlatformIoTest, ArchitectureRoundTripNoc) {
+  TemplateRequest request;
+  request.tileCount = 6;
+  request.interconnect = InterconnectKind::NocMesh;
+  request.nocWiresPerLink = 16;
+  const Architecture original = generateFromTemplate(request);
+  const Architecture reparsed = architectureFromString(architectureToXml(original));
+  EXPECT_EQ(reparsed.interconnect(), InterconnectKind::NocMesh);
+  EXPECT_EQ(reparsed.noc().rows, original.noc().rows);
+  EXPECT_EQ(reparsed.noc().cols, original.noc().cols);
+  EXPECT_EQ(reparsed.noc().wiresPerLink, 16u);
+  EXPECT_EQ(reparsed.noc().flowControl, true);
+}
+
+TEST(PlatformIoTest, MalformedArchitectureThrows) {
+  EXPECT_THROW(architectureFromString("<architecture/>"), ParseError);  // no interconnect
+  EXPECT_THROW(architectureFromString("<other interconnect=\"fsl\"/>"), ParseError);
+}
+
+}  // namespace
+}  // namespace mamps::platform
