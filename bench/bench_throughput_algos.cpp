@@ -22,7 +22,9 @@ sdf::TimedGraph makeRing(std::uint32_t n, std::uint64_t tokens, std::uint64_t se
   sdf::Graph g("ring");
   std::vector<sdf::ActorId> ids;
   for (std::uint32_t i = 0; i < n; ++i) {
-    ids.push_back(g.addActor("r" + std::to_string(i)));
+    std::string actorName = "r";
+    actorName += std::to_string(i);
+    ids.push_back(g.addActor(std::move(actorName)));
   }
   for (std::uint32_t i = 0; i < n; ++i) {
     g.connect(ids[i], 1, ids[(i + 1) % n], 1, (i + 1 == n) ? tokens : 0);

@@ -279,7 +279,7 @@ std::uint64_t RasterBehavior::fire(sim::FiringData& data) {
     std::uint8_t* dst = &current_.rgb[(py * current_.width + mcuX * mw) * 3];
     std::copy_n(src + y * mw * 3, mw * 3, dst);
   }
-  if (mcuIndex + 1 == header.mcusPerFrame()) {
+  if (mcuIndex + 1u == header.mcusPerFrame()) {
     if (frames_.size() >= maxFrames_) {
       frames_.erase(frames_.begin());
     }

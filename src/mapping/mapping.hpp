@@ -22,7 +22,7 @@ struct ChannelRoute {
   platform::TileId srcTile = 0;
   platform::TileId dstTile = 0;
   /// NoC: the XY route (link ids) and the reserved SDM wires.
-  std::vector<platform::LinkId> route;
+  std::vector<platform::LinkId> route{};
   std::uint32_t wires = 0;
   /// FSL: index of the dedicated point-to-point link.
   std::uint32_t fslIndex = 0;

@@ -51,7 +51,7 @@ struct Tile {
   std::string name;
   TileKind kind = TileKind::Slave;
   std::string processorType = "microblaze";  ///< matches ActorImplementation::processorType
-  MemorySpec memory;
+  MemorySpec memory{};
 
   [[nodiscard]] bool hasPeripherals() const { return kind == TileKind::Master; }
   [[nodiscard]] bool hasCommAssist() const { return kind == TileKind::CommAssist; }

@@ -128,7 +128,7 @@ struct TimedGraph {
   /// software actors on a processing element. An entry of 0 means
   /// unlimited; the communication model uses it for the latency stage of
   /// an interconnect connection, where multiple words pipeline.
-  std::vector<std::uint32_t> maxConcurrent;
+  std::vector<std::uint32_t> maxConcurrent{};
 
   [[nodiscard]] std::uint64_t timeOf(ActorId id) const { return execTime.at(id); }
 

@@ -179,7 +179,7 @@ TEST(ThroughputTest, ZeroTimeActorsAreFine) {
 
 TEST(ThroughputTest, ExecTimeSizeMismatchThrows) {
   const TimedGraph timed{test::figure2Graph(), {1, 1}};
-  EXPECT_THROW(computeThroughput(timed), AnalysisError);
+  EXPECT_THROW((void)computeThroughput(timed), AnalysisError);
 }
 
 // -------------------------------------------------------------- CycleRatio
@@ -231,8 +231,8 @@ TEST(CycleRatioTest, AcyclicGraph) {
 
 TEST(CycleRatioTest, RejectsMultiRateGraphs) {
   sdf::TimedGraph timed{test::pipelineGraph(2, 1), {1, 1}};
-  EXPECT_THROW(maxCycleRatioHoward(timed), AnalysisError);
-  EXPECT_THROW(maxCycleRatioBruteForce(timed), AnalysisError);
+  EXPECT_THROW((void)maxCycleRatioHoward(timed), AnalysisError);
+  EXPECT_THROW((void)maxCycleRatioBruteForce(timed), AnalysisError);
 }
 
 TEST(CycleRatioTest, HowardMatchesBruteForceOnKnownGraph) {

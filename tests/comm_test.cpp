@@ -57,7 +57,7 @@ TEST(WordsPerTokenTest, RoundsUpToWords) {
   EXPECT_EQ(wordsPerToken(4), 1u);
   EXPECT_EQ(wordsPerToken(5), 2u);
   EXPECT_EQ(wordsPerToken(128), 32u);
-  EXPECT_THROW(wordsPerToken(0), Error);
+  EXPECT_THROW((void)wordsPerToken(0), Error);
 }
 
 // -------------------------------------------------------------- Parameters
@@ -107,9 +107,9 @@ TEST(ParamsTest, NocParamsScaleWithWiresAndHops) {
       nocParams(channel, config, /*hops=*/5, /*wires=*/4, SerializationMode::CommAssist, 4, 4);
   EXPECT_GT(far.latencyCycles, few.latencyCycles);
   EXPECT_THROW(
-      nocParams(channel, config, 2, 0, SerializationMode::CommAssist, 4, 4), ModelError);
+      (void)nocParams(channel, config, 2, 0, SerializationMode::CommAssist, 4, 4), ModelError);
   EXPECT_THROW(
-      nocParams(channel, config, 2, 64, SerializationMode::CommAssist, 4, 4), ModelError);
+      (void)nocParams(channel, config, 2, 64, SerializationMode::CommAssist, 4, 4), ModelError);
 }
 
 TEST(ParamsTest, ValidationCatchesTightBuffers) {

@@ -57,7 +57,8 @@ TEST(ArchitectureTest, NocMeshMustCoverTiles) {
   Architecture arch;
   for (int i = 0; i < 5; ++i) {
     Tile t;
-    t.name = "t" + std::to_string(i);
+    t.name = "t";
+    t.name += std::to_string(i);
     arch.addTile(t);
   }
   arch.setInterconnect(InterconnectKind::NocMesh);
@@ -73,7 +74,7 @@ TEST(ArchitectureTest, KindNamesRoundTrip) {
                               TileKind::HardwareIp}) {
     EXPECT_EQ(tileKindFromName(tileKindName(kind)), kind);
   }
-  EXPECT_THROW(tileKindFromName("bogus"), ParseError);
+  EXPECT_THROW((void)tileKindFromName("bogus"), ParseError);
   for (const InterconnectKind kind : {InterconnectKind::Fsl, InterconnectKind::NocMesh}) {
     EXPECT_EQ(interconnectKindFromName(interconnectKindName(kind)), kind);
   }
@@ -154,7 +155,7 @@ TEST(NocTopologyTest, CoordMapping) {
   EXPECT_EQ(topo.coordOf(0), (MeshCoord{0, 0}));
   EXPECT_EQ(topo.coordOf(4), (MeshCoord{1, 1}));
   EXPECT_EQ(topo.routerAt({2, 1}), 5u);
-  EXPECT_THROW(topo.coordOf(6), ModelError);
+  EXPECT_THROW((void)topo.coordOf(6), ModelError);
 }
 
 TEST(NocTopologyTest, XyRouteGoesXFirst) {
@@ -242,7 +243,7 @@ TEST(WireAllocatorTest, CyclesPerWord) {
   EXPECT_EQ(WireAllocator::cyclesPerWord(8), 4u);
   EXPECT_EQ(WireAllocator::cyclesPerWord(1), 32u);
   EXPECT_EQ(WireAllocator::cyclesPerWord(5), 7u);
-  EXPECT_THROW(WireAllocator::cyclesPerWord(0), ModelError);
+  EXPECT_THROW((void)WireAllocator::cyclesPerWord(0), ModelError);
 }
 
 // -------------------------------------------------------------------- Area

@@ -64,7 +64,7 @@ TEST(RationalTest, ToDouble) { EXPECT_DOUBLE_EQ(Rational(1, 4).toDouble(), 0.25)
 
 TEST(RationalTest, Reciprocal) {
   EXPECT_EQ(Rational(3, 7).reciprocal(), Rational(7, 3));
-  EXPECT_THROW(Rational(0).reciprocal(), Error);
+  EXPECT_THROW((void)Rational(0).reciprocal(), Error);
 }
 
 TEST(RationalTest, OverflowThrows) {
@@ -139,20 +139,20 @@ TEST(StringsTest, StartsWith) {
 TEST(StringsTest, ParseU64) {
   EXPECT_EQ(parseU64("42"), 42u);
   EXPECT_EQ(parseU64(" 7 "), 7u);
-  EXPECT_THROW(parseU64("x"), ParseError);
-  EXPECT_THROW(parseU64(""), ParseError);
-  EXPECT_THROW(parseU64("12x"), ParseError);
+  EXPECT_THROW((void)parseU64("x"), ParseError);
+  EXPECT_THROW((void)parseU64(""), ParseError);
+  EXPECT_THROW((void)parseU64("12x"), ParseError);
 }
 
 TEST(StringsTest, ParseI64) {
   EXPECT_EQ(parseI64("-42"), -42);
-  EXPECT_THROW(parseI64("4.2"), ParseError);
+  EXPECT_THROW((void)parseI64("4.2"), ParseError);
 }
 
 TEST(StringsTest, ParseDouble) {
   EXPECT_DOUBLE_EQ(parseDouble("0.5"), 0.5);
   EXPECT_DOUBLE_EQ(parseDouble("-3e2"), -300.0);
-  EXPECT_THROW(parseDouble("abc"), ParseError);
+  EXPECT_THROW((void)parseDouble("abc"), ParseError);
 }
 
 TEST(StringsTest, Strprintf) {
@@ -217,13 +217,13 @@ TEST(XmlTest, TrailingContentThrows) {
 
 TEST(XmlTest, RequiredAttributeThrows) {
   const auto doc = xml::parse("<a/>");
-  EXPECT_THROW(doc.root().requiredAttribute("x"), ParseError);
+  EXPECT_THROW((void)doc.root().requiredAttribute("x"), ParseError);
 }
 
 TEST(XmlTest, RequiredChildThrows) {
   const auto doc = xml::parse("<a><b/></a>");
-  EXPECT_NO_THROW(doc.root().requiredChild("b"));
-  EXPECT_THROW(doc.root().requiredChild("c"), ParseError);
+  EXPECT_NO_THROW((void)doc.root().requiredChild("b"));
+  EXPECT_THROW((void)doc.root().requiredChild("c"), ParseError);
 }
 
 TEST(XmlTest, RoundTrip) {

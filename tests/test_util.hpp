@@ -44,7 +44,9 @@ inline sdf::Graph ringGraph(std::uint32_t n) {
   std::vector<sdf::ActorId> ids;
   ids.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    ids.push_back(g.addActor("r" + std::to_string(i)));
+    std::string name = "r";
+    name += std::to_string(i);
+    ids.push_back(g.addActor(std::move(name)));
   }
   for (std::uint32_t i = 0; i < n; ++i) {
     const bool closing = (i + 1 == n);
@@ -77,7 +79,9 @@ inline sdf::Graph randomConsistentGraph(Rng& rng, const RandomGraphOptions& opt 
   ids.reserve(n);
   q.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    ids.push_back(g.addActor("x" + std::to_string(i)));
+    std::string name = "x";
+    name += std::to_string(i);
+    ids.push_back(g.addActor(std::move(name)));
     q.push_back(rng.range(1, opt.maxQ));
   }
   const auto addChannel = [&](std::uint32_t from, std::uint32_t to) {
