@@ -1,8 +1,11 @@
-// Ablation: the two throughput engines of the analysis module — the
-// self-timed state-space exploration (used by the flow on binding-aware
-// graphs) and maximum-cycle-ratio analysis on the HSDF expansion. They
-// compute identical values (asserted in the test suite); this bench
-// compares their runtime as graphs grow, using google-benchmark.
+// Ablation: the throughput engines of the analysis module — the
+// self-timed state-space exploration (exponential in graph size) and
+// the maximum-cycle-ratio fast path on the HSDF expansion (polynomial),
+// plus the unified computeThroughput entry point that picks between
+// them. The engines compute identical values (asserted in the test
+// suite); this bench compares their runtime as graphs grow, using
+// google-benchmark. The BENCH_throughput.json trajectory at the repo
+// root records these numbers across PRs.
 #include <benchmark/benchmark.h>
 
 #include "analysis/buffer.hpp"
@@ -37,15 +40,32 @@ sdf::TimedGraph makeRing(std::uint32_t n, std::uint64_t tokens, std::uint64_t se
   return timed;
 }
 
+/// Static-order resource constraints for a ring: actors are bound
+/// round-robin to `resourceCount` shared resources, scheduled in ring
+/// order (q is all-ones, so each actor appears once).
+analysis::ResourceConstraints makeRingResources(std::uint32_t n, std::uint32_t resourceCount) {
+  analysis::ResourceConstraints resources;
+  resources.actorResource.resize(n);
+  resources.staticOrder.resize(resourceCount);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t r = i % resourceCount;
+    resources.actorResource[i] = r;
+    resources.staticOrder[r].push_back(i);
+  }
+  return resources;
+}
+
 void BM_StateSpaceThroughput(benchmark::State& state) {
   const auto timed = makeRing(static_cast<std::uint32_t>(state.range(0)),
                               static_cast<std::uint64_t>(state.range(1)), 42);
+  analysis::ThroughputOptions options;
+  options.engine = analysis::ThroughputEngine::StateSpace;
   for (auto _ : state) {
-    const auto result = analysis::computeThroughput(timed);
+    const auto result = analysis::computeThroughput(timed, options);
     benchmark::DoNotOptimize(result.iterationsPerCycle);
   }
 }
-BENCHMARK(BM_StateSpaceThroughput)->Args({4, 1})->Args({8, 2})->Args({16, 4})->Args({32, 8});
+BENCHMARK(BM_StateSpaceThroughput)->Args({4, 1})->Args({8, 2})->Args({16, 4})->Args({32, 8})->Args({64, 16});
 
 void BM_McrThroughput(benchmark::State& state) {
   const auto timed = makeRing(static_cast<std::uint32_t>(state.range(0)),
@@ -55,7 +75,45 @@ void BM_McrThroughput(benchmark::State& state) {
     benchmark::DoNotOptimize(result);
   }
 }
-BENCHMARK(BM_McrThroughput)->Args({4, 1})->Args({8, 2})->Args({16, 4})->Args({32, 8});
+BENCHMARK(BM_McrThroughput)
+    ->Args({4, 1})
+    ->Args({8, 2})
+    ->Args({16, 4})
+    ->Args({32, 8})
+    ->Args({64, 16})
+    ->Args({128, 32})
+    ->Args({256, 64});
+
+void BM_UnifiedThroughput(benchmark::State& state) {
+  // The default entry point: Auto engine selection (these graphs take
+  // the MCR fast path — asserted below via the engine field).
+  const auto timed = makeRing(static_cast<std::uint32_t>(state.range(0)),
+                              static_cast<std::uint64_t>(state.range(1)), 42);
+  for (auto _ : state) {
+    const auto result = analysis::computeThroughput(timed);
+    benchmark::DoNotOptimize(result.iterationsPerCycle);
+    if (result.engine != analysis::ThroughputEngine::Mcr) {
+      state.SkipWithError("expected the MCR fast path");
+    }
+  }
+}
+BENCHMARK(BM_UnifiedThroughput)->Args({64, 16})->Args({128, 32})->Args({256, 64});
+
+void BM_ScheduledThroughput(benchmark::State& state) {
+  // Resource-constrained analysis (the flow's hot path on binding-aware
+  // graphs): ring actors shared across 4 static-order resources.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto timed = makeRing(n, static_cast<std::uint64_t>(state.range(1)), 42);
+  const auto resources = makeRingResources(n, 4);
+  for (auto _ : state) {
+    const auto result = analysis::computeThroughput(timed, resources);
+    benchmark::DoNotOptimize(result.iterationsPerCycle);
+    if (result.engine != analysis::ThroughputEngine::Mcr) {
+      state.SkipWithError("expected the MCR fast path");
+    }
+  }
+}
+BENCHMARK(BM_ScheduledThroughput)->Args({64, 16})->Args({128, 32})->Args({256, 64});
 
 void BM_BufferSizing(benchmark::State& state) {
   const auto timed = makeRing(static_cast<std::uint32_t>(state.range(0)), 2, 7);

@@ -62,6 +62,8 @@ int main() {
   std::printf("Guaranteed throughput: %s iterations/cycle (%.2f iterations per kcycle)\n",
               result->throughput.iterationsPerCycle.toString().c_str(),
               result->throughput.iterationsPerCycle.toDouble() * 1e3);
+  std::printf("Analysis engine: %s (binding-aware graphs take the MCR fast path)\n",
+              analysis::throughputEngineName(result->throughput.engine));
   std::printf("Constraint met: %s\n\n", result->meetsConstraint ? "yes" : "NO");
 
   // --- 4. MAMPS platform generation --------------------------------------

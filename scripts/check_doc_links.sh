@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Check that every relative markdown link in docs/*.md and README.md
+# resolves to an existing file (anchors and external URLs are skipped).
+# Used by the CI docs job; run locally from anywhere in the repo.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+
+check_file() {
+  local md="$1"
+  local dir
+  dir="$(dirname "$md")"
+  # Extract markdown link targets: [text](target)
+  local targets
+  targets="$(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//' || true)"
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    # Strip a trailing anchor.
+    local path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $md -> $target" >&2
+      status=1
+    fi
+  done <<< "$targets"
+}
+
+for md in "$repo_root"/docs/*.md "$repo_root"/README.md; do
+  [ -e "$md" ] || continue
+  check_file "$md"
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "Documentation link check failed." >&2
+else
+  echo "All documentation links resolve."
+fi
+exit "$status"

@@ -207,6 +207,9 @@ std::optional<BufferSizingResult> sizeBuffersForThroughput(const sdf::TimedGraph
 
   const auto evaluate = [&](const BufferCapacities& caps) -> Rational {
     const ThroughputResult r = computeThroughput(withCapacities(timed, caps));
+    if (r.status == ThroughputResult::Status::Unbounded) {
+      return target;  // infinitely fast: any finite target is met
+    }
     return r.ok() ? r.iterationsPerCycle : Rational(0);
   };
 
@@ -214,9 +217,11 @@ std::optional<BufferSizingResult> sizeBuffersForThroughput(const sdf::TimedGraph
   // The throughput with unbounded buffers is the ceiling; bail out early
   // when even that misses the target. Computed via the MCR analysis,
   // which (unlike state-space execution) handles graphs that are not
-  // strongly bounded.
-  const std::optional<Rational> unbounded = throughputViaMcr(timed);
-  if (!unbounded || *unbounded < target) {
+  // strongly bounded. An Unbounded verdict (every cycle has zero total
+  // execution time) clears any finite target.
+  const ThroughputResult ceiling = computeThroughputMcr(timed);
+  if (ceiling.status != ThroughputResult::Status::Unbounded &&
+      (!ceiling.ok() || ceiling.iterationsPerCycle < target)) {
     return std::nullopt;
   }
 

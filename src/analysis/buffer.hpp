@@ -22,29 +22,43 @@ namespace mamps::analysis {
 using BufferCapacities = std::vector<std::uint64_t>;
 
 /// Build the capacitated graph: a copy of `g` with one space back-edge
-/// per bounded channel. Back-edges are named "<channel>_space". Throws
-/// ModelError when a capacity is smaller than the channel's initial
-/// tokens or smaller than max(prodRate, consRate).
+/// per bounded channel. Back-edges are named "<channel>_space".
+/// @param g the graph to capacitate
+/// @param capacities one entry per channel of `g` (0 = unbounded)
+/// @return the graph with space back-edges appended
+/// @throws ModelError when a capacity is smaller than the channel's
+///   initial tokens or smaller than max(prodRate, consRate)
 [[nodiscard]] sdf::Graph withCapacities(const sdf::Graph& g, const BufferCapacities& capacities);
 
 /// Timed variant: back-edge transport is instantaneous (space is
 /// released by the consumer firing itself), so execution times carry
 /// over unchanged.
+/// @param timed the timed graph to capacitate
+/// @param capacities one entry per channel (0 = unbounded)
+/// @return the capacitated timed graph
+/// @throws ModelError on invalid capacities (see the structural variant)
 [[nodiscard]] sdf::TimedGraph withCapacities(const sdf::TimedGraph& timed,
                                              const BufferCapacities& capacities);
 
 /// The classical per-channel lower bound for a deadlock-free capacity:
 /// prod + cons - gcd(prod, cons) + (initialTokens mod gcd), and at least
 /// the number of initial tokens.
+/// @param c the channel to bound
+/// @return the smallest capacity that can possibly avoid deadlock
 [[nodiscard]] std::uint64_t capacityLowerBound(const sdf::Channel& c);
 
 /// Smallest per-channel capacities (found by demand-driven search) for
-/// which the graph executes one iteration without deadlock. Returns
-/// nullopt when the uncapacitated graph itself deadlocks.
+/// which the graph executes one iteration without deadlock.
+/// @param g the graph to size
+/// @return the capacities, or nullopt when the uncapacitated graph
+///   itself deadlocks
 [[nodiscard]] std::optional<BufferCapacities> minimalDeadlockFreeCapacities(const sdf::Graph& g);
 
+/// Outcome of throughput-constrained buffer sizing.
 struct BufferSizingResult {
+  /// Chosen capacity per channel.
   BufferCapacities capacities;
+  /// Throughput of the capacitated graph.
   Rational achievedThroughput = Rational(0);
   std::uint64_t totalTokens = 0;  ///< sum of capacities
   std::uint64_t totalBytes = 0;   ///< capacity * tokenSize summed
@@ -53,8 +67,12 @@ struct BufferSizingResult {
 /// Greedy throughput-constrained buffer sizing: starting from the
 /// minimal deadlock-free distribution, repeatedly grow the capacity
 /// that yields the best throughput improvement per added byte until
-/// `targetIterationsPerCycle` is met. Returns nullopt when the target
-/// is unreachable even with effectively-unbounded buffers.
+/// `targetIterationsPerCycle` is met.
+/// @param timed the graph to size
+/// @param targetIterationsPerCycle the throughput to reach
+/// @param maxRounds growth-step budget before giving up
+/// @return the sizing, or nullopt when the target is unreachable even
+///   with effectively-unbounded buffers
 [[nodiscard]] std::optional<BufferSizingResult> sizeBuffersForThroughput(
     const sdf::TimedGraph& timed, const Rational& targetIterationsPerCycle,
     std::uint64_t maxRounds = 512);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <unordered_map>
 
 #include "sdf/hsdf.hpp"
+#include "sdf/repetition_vector.hpp"
 
 namespace mamps::analysis {
 namespace {
@@ -31,9 +33,23 @@ void requireHsdf(const sdf::TimedGraph& hsdf) {
 }
 
 std::vector<Edge> buildEdges(const sdf::TimedGraph& hsdf) {
+  // Parallel edges between the same pair carry the same weight (the
+  // source's execution time); only the one with the fewest tokens can
+  // attain the maximum ratio, so collapse them. The HSDF expansion of a
+  // multi-rate channel produces one parallel edge per token, making this
+  // a large reduction on expanded graphs.
   std::vector<Edge> edges;
   edges.reserve(hsdf.graph.channelCount());
+  std::unordered_map<std::uint64_t, std::size_t> byPair;
+  byPair.reserve(hsdf.graph.channelCount());
   for (const sdf::Channel& c : hsdf.graph.channels()) {
+    const std::uint64_t key = (std::uint64_t{c.src} << 32) | c.dst;
+    const auto [it, inserted] = byPair.try_emplace(key, edges.size());
+    if (!inserted) {
+      Edge& existing = edges[it->second];
+      existing.delay = std::min(existing.delay, static_cast<std::int64_t>(c.initialTokens));
+      continue;
+    }
     Edge e;
     e.from = c.src;
     e.to = c.dst;
@@ -323,21 +339,130 @@ CycleRatioResult maxCycleRatioBruteForce(const sdf::TimedGraph& hsdf) {
   return result;
 }
 
-std::optional<Rational> throughputViaMcr(const sdf::TimedGraph& timed) {
-  const sdf::HsdfExpansion expansion = sdf::toHsdf(timed);
+sdf::HsdfExpansion toHsdfWithStaticOrder(const sdf::TimedGraph& timed,
+                                         const ResourceConstraints& resources) {
+  resources.validateFor(timed.graph);
+  const auto qOpt = sdf::computeRepetitionVector(timed.graph);
+  if (!qOpt) {
+    throw AnalysisError("toHsdfWithStaticOrder: graph '" + timed.graph.name() +
+                        "' is inconsistent");
+  }
+  const auto& q = *qOpt;
+
+  sdf::HsdfExpansion expansion = sdf::toHsdf(timed);
+
+  // Forward map: original actor + firing index -> HSDF copy.
+  std::vector<std::vector<sdf::ActorId>> copies(timed.graph.actorCount());
+  for (sdf::ActorId h = 0; h < expansion.hsdf.graph.actorCount(); ++h) {
+    auto& list = copies[expansion.originalActor[h]];
+    if (list.size() <= expansion.firingIndex[h]) {
+      list.resize(expansion.firingIndex[h] + 1, sdf::kInvalidActor);
+    }
+    list[expansion.firingIndex[h]] = h;
+  }
+
+  for (std::size_t r = 0; r < resources.staticOrder.size(); ++r) {
+    const auto& order = resources.staticOrder[r];
+    // The j-th appearance of actor a is its j-th firing of the
+    // iteration; collect the chain of HSDF copies in schedule order.
+    std::vector<std::uint64_t> appearance(timed.graph.actorCount(), 0);
+    std::vector<sdf::ActorId> chain;
+    chain.reserve(order.size());
+    for (const sdf::ActorId a : order) {
+      if (resources.actorResource[a] != r) {
+        throw AnalysisError("toHsdfWithStaticOrder: actor " + timed.graph.actor(a).name +
+                            " is scheduled on a resource it is not bound to");
+      }
+      const std::uint64_t j = appearance[a]++;
+      if (j >= q[a]) {
+        throw AnalysisError("toHsdfWithStaticOrder: actor " + timed.graph.actor(a).name +
+                            " appears more often than its repetition count");
+      }
+      chain.push_back(copies[a][j]);
+    }
+    for (sdf::ActorId a = 0; a < timed.graph.actorCount(); ++a) {
+      if (resources.actorResource[a] == r && appearance[a] != q[a]) {
+        throw AnalysisError("toHsdfWithStaticOrder: actor " + timed.graph.actor(a).name +
+                            " appears " + std::to_string(appearance[a]) +
+                            " times in its static order, expected q = " + std::to_string(q[a]));
+      }
+    }
+    if (chain.empty()) {
+      continue;
+    }
+    // Completion of appearance i enables the start of appearance i+1;
+    // the wrap-around token starts the schedule at position 0 and
+    // pipelines consecutive iterations of the resource by one.
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      const std::size_t next = (i + 1) % chain.size();
+      sdf::ChannelSpec spec;
+      spec.src = chain[i];
+      spec.dst = chain[next];
+      spec.prodRate = 1;
+      spec.consRate = 1;
+      spec.initialTokens = (next == 0) ? 1 : 0;
+      spec.name = "so_r" + std::to_string(r) + "_" + std::to_string(i);
+      expansion.hsdf.graph.connect(spec);
+    }
+  }
+  return expansion;
+}
+
+ThroughputResult computeThroughputMcr(const sdf::TimedGraph& timed,
+                                      const ResourceConstraints* resources) {
+  if (timed.execTime.size() != timed.graph.actorCount()) {
+    throw AnalysisError("computeThroughputMcr: execTime size does not match actor count");
+  }
+  ThroughputResult result;
+  result.engine = ThroughputEngine::Mcr;
+  if (!sdf::isConsistent(timed.graph)) {
+    result.status = ThroughputResult::Status::Inconsistent;
+    return result;
+  }
+  if (timed.graph.actorCount() == 0) {
+    result.status = ThroughputResult::Status::Deadlock;
+    return result;
+  }
+
+  const sdf::HsdfExpansion expansion = resources != nullptr
+                                           ? toHsdfWithStaticOrder(timed, *resources)
+                                           : sdf::toHsdf(timed);
+  result.hsdfActors = expansion.hsdf.graph.actorCount();
+
   const CycleRatioResult mcr = maxCycleRatioHoward(expansion.hsdf);
   switch (mcr.status) {
     case CycleRatioResult::Status::Ok:
-      return mcr.ratio.reciprocal();
+      if (mcr.ratio.isZero()) {
+        // Every cycle has zero total execution time: the graph fires
+        // infinitely fast (matches the state-space verdict for a live
+        // zero-time cycle).
+        result.status = ThroughputResult::Status::Unbounded;
+      } else {
+        result.status = ThroughputResult::Status::Ok;
+        result.iterationsPerCycle = mcr.ratio.reciprocal();
+      }
+      return result;
     case CycleRatioResult::Status::Deadlock:
-      return std::nullopt;
+      result.status = ThroughputResult::Status::Deadlock;
+      result.iterationsPerCycle = Rational(0);
+      return result;
     case CycleRatioResult::Status::Acyclic:
-      // No cycle constrains the period: unbounded throughput. The HSDF
-      // conversion always adds sequence self-edges, so this only occurs
-      // for empty graphs.
-      return std::nullopt;
+      // No cycle constrains the period. With self-concurrency limits in
+      // {0, 1} this requires every actor to be unconstrained, which only
+      // happens for graphs of limit-0 actors: unbounded throughput.
+      result.status = ThroughputResult::Status::Unbounded;
+      return result;
   }
-  return std::nullopt;
+  result.status = ThroughputResult::Status::Unbounded;
+  return result;
+}
+
+std::optional<Rational> throughputViaMcr(const sdf::TimedGraph& timed) {
+  const ThroughputResult result = computeThroughputMcr(timed);
+  if (!result.ok()) {
+    return std::nullopt;
+  }
+  return result.iterationsPerCycle;
 }
 
 }  // namespace mamps::analysis

@@ -1,4 +1,5 @@
-// Maximum cycle ratio / maximum cycle mean analysis.
+// Maximum cycle ratio / maximum cycle mean analysis — the polynomial
+// throughput fast path.
 //
 // For an HSDF graph (all rates 1) executing self-timed, the steady-state
 // iteration period equals the maximum cycle ratio
@@ -6,45 +7,96 @@
 // and the graph throughput is 1/MCR iterations per cycle. A cycle with
 // zero tokens can never fire: the graph is deadlocked.
 //
-// Two implementations are provided: Howard's policy iteration with exact
-// rational arithmetic (fast, used by the flow) and a brute-force simple
-// cycle enumeration (exponential, used as a cross-check in tests).
+// General SDF graphs are analyzed by expanding them to HSDF first
+// (sdf/hsdf.hpp); static-order schedules of shared resources are encoded
+// exactly as additional HSDF precedence edges, so resource-shared
+// binding-aware graphs stay on the fast path.
+//
+// Two cycle-ratio implementations are provided: Howard's policy
+// iteration with exact rational arithmetic (fast, used by the flow) and
+// a brute-force simple cycle enumeration (exponential, used as a
+// cross-check in tests).
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "analysis/throughput.hpp"
 #include "sdf/graph.hpp"
+#include "sdf/hsdf.hpp"
 #include "support/rational.hpp"
 
 namespace mamps::analysis {
 
+/// Outcome of a maximum-cycle-ratio computation.
 struct CycleRatioResult {
+  /// Verdict of the cycle-ratio analysis.
   enum class Status {
     Ok,        ///< maximum cycle ratio computed
     Deadlock,  ///< a cycle without tokens exists
     Acyclic,   ///< no cycle exists (ratio undefined; throughput unbounded)
   };
 
+  /// Verdict; `ratio` is only meaningful for Ok.
   Status status = Status::Acyclic;
-  Rational ratio = Rational(0);  ///< cycles per iteration (valid for Ok)
+  /// Maximum cycle ratio in cycles per iteration (valid for Ok).
+  Rational ratio = Rational(0);
 
+  /// True when a maximum cycle ratio was computed.
+  /// @return status == Status::Ok
   [[nodiscard]] bool ok() const { return status == Status::Ok; }
 };
 
 /// Maximum cycle ratio of a timed HSDF graph via Howard's policy
 /// iteration. Edge weight = execution time of the channel's source
-/// actor; edge delay = initial tokens. Throws AnalysisError when the
-/// graph has a channel with rates != 1.
+/// actor; edge delay = initial tokens.
+/// @param hsdf the HSDF graph (all channel rates must be 1)
+/// @return the maximum cycle ratio, or Deadlock/Acyclic verdicts
+/// @throws AnalysisError when the graph has a channel with rates != 1
+///   or the execution-time vector does not match the actor count
 [[nodiscard]] CycleRatioResult maxCycleRatioHoward(const sdf::TimedGraph& hsdf);
 
 /// Same quantity by enumerating all simple cycles (exponential; only for
 /// small test graphs).
+/// @param hsdf the HSDF graph (all channel rates must be 1)
+/// @return the maximum cycle ratio, or Deadlock/Acyclic verdicts
+/// @throws AnalysisError when the graph has a channel with rates != 1
+///   or the execution-time vector does not match the actor count
 [[nodiscard]] CycleRatioResult maxCycleRatioBruteForce(const sdf::TimedGraph& hsdf);
 
+/// HSDF expansion of `timed` with the static-order schedules of
+/// `resources` encoded as precedence edges: per resource, a chain
+/// through the firing copies in schedule-appearance order plus a
+/// wrap-around edge carrying one token. The encoding is exact — the
+/// j-th appearance of actor a in its order is firing copy j of a —
+/// which requires every bound actor to appear exactly q[a] times.
+/// @param timed the SDF graph to expand
+/// @param resources binding and static orders; every entry of a
+///   resource's order must be bound to that resource
+/// @return the expansion with schedule edges added (named "so_r<R>_<i>")
+/// @throws AnalysisError when the graph is inconsistent, an order entry
+///   is not bound to its resource, or an appearance count differs from
+///   the actor's repetition count
+[[nodiscard]] sdf::HsdfExpansion toHsdfWithStaticOrder(const sdf::TimedGraph& timed,
+                                                       const ResourceConstraints& resources);
+
+/// Full throughput verdict via the MCR fast path: HSDF expansion (plus
+/// static-order encoding when `resources` is non-null) and Howard's
+/// policy iteration. Never returns Status::Diverged or StepLimit; for
+/// graphs that are not strongly bounded it reports the exact long-run
+/// iteration completion rate.
+/// @param timed the SDF graph to analyze
+/// @param resources optional binding and static orders (may be null)
+/// @return a ThroughputResult with `engine == ThroughputEngine::Mcr`
+/// @throws AnalysisError on shape violations (execTime size, schedule
+///   appearance counts)
+[[nodiscard]] ThroughputResult computeThroughputMcr(
+    const sdf::TimedGraph& timed, const ResourceConstraints* resources = nullptr);
+
 /// Throughput of an SDF graph via conversion to HSDF and MCR analysis.
-/// Returns iterations per cycle; nullopt when deadlocked.
+/// @param timed the SDF graph to analyze
+/// @return iterations per cycle; nullopt when deadlocked (or empty)
 [[nodiscard]] std::optional<Rational> throughputViaMcr(const sdf::TimedGraph& timed);
 
 }  // namespace mamps::analysis

@@ -1,9 +1,11 @@
 #include "analysis/throughput.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/mcm.hpp"
 #include "sdf/repetition_vector.hpp"
 
 namespace mamps::analysis {
@@ -14,33 +16,17 @@ using sdf::Channel;
 using sdf::ChannelId;
 using sdf::Graph;
 
-/// Execution state at a quiescent point: channel fillings, per-actor
-/// sorted remaining firing times, and per-resource schedule positions.
-struct State {
-  std::vector<std::uint64_t> tokens;                    // per channel
-  std::vector<std::vector<std::uint64_t>> remaining;    // per actor, sorted
-  std::vector<std::uint32_t> schedulePos;               // per resource
+/// Canonicalised quiescent-state key: token counts of the channels that
+/// are not derivable from the rest of the state, per-actor sorted
+/// remaining firing times (length-prefixed), and per-resource schedule
+/// positions, packed into one flat buffer.
+using StateKey = std::vector<std::uint64_t>;
 
-  bool operator==(const State&) const = default;
-};
-
-struct StateHash {
-  std::size_t operator()(const State& s) const {
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& key) const {
     std::uint64_t h = 0xcbf29ce484222325ULL;
-    const auto mix = [&h](std::uint64_t v) {
+    for (const std::uint64_t v : key) {
       h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    };
-    for (const std::uint64_t t : s.tokens) {
-      mix(t);
-    }
-    for (const auto& r : s.remaining) {
-      mix(r.size() + 0x1234567ULL);
-      for (const std::uint64_t v : r) {
-        mix(v);
-      }
-    }
-    for (const std::uint32_t p : s.schedulePos) {
-      mix(p + 0x77777777ULL);
     }
     return static_cast<std::size_t>(h);
   }
@@ -55,19 +41,21 @@ class Simulator {
         concurrency_(timed.maxConcurrent),
         options_(options),
         resources_(resources) {
-    state_.tokens.resize(graph_.channelCount());
+    tokens_.resize(graph_.channelCount());
     for (ChannelId c = 0; c < graph_.channelCount(); ++c) {
-      state_.tokens[c] = graph_.channel(c).initialTokens;
+      tokens_[c] = graph_.channel(c).initialTokens;
     }
-    state_.remaining.resize(graph_.actorCount());
+    remaining_.resize(graph_.actorCount());
     if (resources_ != nullptr) {
-      state_.schedulePos.resize(resources_->staticOrder.size(), 0);
+      schedulePos_.resize(resources_->staticOrder.size(), 0);
       resourceBusy_.resize(resources_->staticOrder.size(), 0);
     }
+    computeStoredChannels();
   }
 
   ThroughputResult run() {
     ThroughputResult result;
+    result.engine = ThroughputEngine::StateSpace;
     const auto qOpt = sdf::computeRepetitionVector(graph_);
     if (!qOpt) {
       result.status = ThroughputResult::Status::Inconsistent;
@@ -94,7 +82,16 @@ class Simulator {
     }
     const std::uint64_t divergenceThreshold = initialTotal + 64 * perIteration + 4096;
 
-    std::unordered_map<State, std::pair<std::uint64_t, std::uint64_t>, StateHash> seen;
+    struct Visit {
+      std::uint64_t time = 0;
+      std::uint64_t completions = 0;
+      std::uint64_t step = 0;
+    };
+    std::unordered_map<StateKey, Visit, StateKeyHash> seen;
+    std::uint64_t pruned = 0;
+    std::uint64_t pruneWatermark = 0;
+    const std::uint64_t storeLimit = std::max<std::uint64_t>(options_.maxStoredStates, 16);
+
     for (std::uint64_t step = 0; step < options_.maxSteps; ++step) {
       // Quiescent point: start everything startable, complete all
       // zero-time work (which may enable more starts).
@@ -104,30 +101,29 @@ class Simulator {
       }
 
       std::uint64_t totalTokens = 0;
-      for (const std::uint64_t t : state_.tokens) {
+      for (const std::uint64_t t : tokens_) {
         totalTokens += t;
       }
       if (totalTokens > divergenceThreshold) {
         result.status = ThroughputResult::Status::Diverged;
-        result.statesExplored = seen.size();
+        result.statesExplored = seen.size() + pruned;
         return result;
       }
 
-      const bool anyOngoing =
-          std::any_of(state_.remaining.begin(), state_.remaining.end(),
-                      [](const auto& r) { return !r.empty(); });
+      const bool anyOngoing = std::any_of(remaining_.begin(), remaining_.end(),
+                                          [](const auto& r) { return !r.empty(); });
       if (!anyOngoing) {
         result.status = ThroughputResult::Status::Deadlock;
-        result.statesExplored = seen.size();
+        result.statesExplored = seen.size() + pruned;
         return result;
       }
 
-      const auto [it, inserted] = seen.try_emplace(state_, now_, refCompletions_);
+      const auto [it, inserted] = seen.try_emplace(encodeState(), Visit{now_, refCompletions_, step});
       if (!inserted) {
-        const auto [prevTime, prevCompletions] = it->second;
-        const std::uint64_t period = now_ - prevTime;
-        const std::uint64_t completions = refCompletions_ - prevCompletions;
-        result.statesExplored = seen.size();
+        const Visit& prev = it->second;
+        const std::uint64_t period = now_ - prev.time;
+        const std::uint64_t completions = refCompletions_ - prev.completions;
+        result.statesExplored = seen.size() + pruned;
         result.periodCycles = period;
         if (period == 0) {
           // Cannot happen: time strictly advances between quiescent
@@ -136,21 +132,103 @@ class Simulator {
           return result;
         }
         result.status = ThroughputResult::Status::Ok;
-        result.iterationsPerCycle =
-            Rational(static_cast<std::int64_t>(completions),
-                     static_cast<std::int64_t>(qRef * period));
+        result.iterationsPerCycle = Rational(static_cast<std::int64_t>(completions),
+                                             static_cast<std::int64_t>(qRef * period));
         return result;
+      }
+
+      // Storage-aware prefix pruning: the oldest stored states belong to
+      // the transient prefix (or to laps of the periodic phase that have
+      // younger equivalents). Dropping them keeps memory bounded; as
+      // long as the periodic phase fits in the retained window
+      // (~storeLimit/2 steps) a younger copy of a periodic state is
+      // revisited and detection still occurs. A period longer than the
+      // window ends in StepLimit — raise maxStoredStates for such
+      // graphs.
+      if (seen.size() > storeLimit) {
+        pruneWatermark = step - storeLimit / 2;
+        for (auto entry = seen.begin(); entry != seen.end();) {
+          if (entry->second.step < pruneWatermark) {
+            entry = seen.erase(entry);
+            ++pruned;
+          } else {
+            ++entry;
+          }
+        }
       }
 
       advanceTime();
     }
     result.status = ThroughputResult::Status::StepLimit;
-    result.statesExplored = seen.size();
+    result.statesExplored = seen.size() + pruned;
     return result;
   }
 
  private:
   static constexpr ActorId kReferenceActor = 0;
+
+  /// Mark the channels whose token count must be part of the state key.
+  /// Two families are derivable from the rest of the key and are
+  /// skipped (the storage-distribution-aware part of the pruning):
+  ///
+  ///  - self-edges: tokens = initial - consRate * ongoing(actor);
+  ///  - channels sharing endpoints and rates with a stored
+  ///    representative: same-direction duplicates differ from the
+  ///    representative by a constant, and reverse-direction channels
+  ///    (the capacity back-edges of a storage distribution) satisfy
+  ///      tokens(fwd) + tokens(rev) + prod*ongoing(src) + cons*ongoing(dst)
+  ///    = const, so their count follows from the representative's.
+  void computeStoredChannels() {
+    storeToken_.assign(graph_.channelCount(), true);
+    // Key: canonical (src, dst, prod, cons) signature with the two
+    // orientations mapped to the same bucket.
+    struct Signature {
+      std::uint64_t endpoints;
+      std::uint64_t rates;
+      bool operator==(const Signature&) const = default;
+    };
+    struct SignatureHash {
+      std::size_t operator()(const Signature& s) const {
+        return std::hash<std::uint64_t>{}(s.endpoints * 0x9e3779b97f4a7c15ULL ^ s.rates);
+      }
+    };
+    std::unordered_map<Signature, ChannelId, SignatureHash> representative;
+    for (ChannelId c = 0; c < graph_.channelCount(); ++c) {
+      const Channel& channel = graph_.channel(c);
+      if (channel.isSelfEdge()) {
+        storeToken_[c] = false;
+        continue;
+      }
+      const bool flip = channel.dst < channel.src;
+      const std::uint64_t lo = flip ? channel.dst : channel.src;
+      const std::uint64_t hi = flip ? channel.src : channel.dst;
+      const std::uint64_t ra = flip ? channel.consRate : channel.prodRate;
+      const std::uint64_t rb = flip ? channel.prodRate : channel.consRate;
+      const Signature sig{(lo << 32) | hi, (ra << 32) | rb};
+      const auto [it, inserted] = representative.try_emplace(sig, c);
+      if (!inserted) {
+        storeToken_[c] = false;  // derivable from the representative
+      }
+    }
+  }
+
+  [[nodiscard]] StateKey encodeState() const {
+    StateKey key;
+    key.reserve(graph_.channelCount() + 2 * graph_.actorCount() + schedulePos_.size());
+    for (ChannelId c = 0; c < graph_.channelCount(); ++c) {
+      if (storeToken_[c]) {
+        key.push_back(tokens_[c]);
+      }
+    }
+    for (const auto& r : remaining_) {
+      key.push_back(r.size());
+      key.insert(key.end(), r.begin(), r.end());
+    }
+    for (const std::uint32_t p : schedulePos_) {
+      key.push_back(p);
+    }
+    return key;
+  }
 
   [[nodiscard]] std::uint32_t resourceOf(ActorId a) const {
     if (resources_ == nullptr || a >= resources_->actorResource.size()) {
@@ -162,7 +240,7 @@ class Simulator {
   [[nodiscard]] bool isReady(ActorId a) const {
     if (!options_.autoConcurrency) {
       const std::uint32_t limit = concurrency_.empty() ? 1 : concurrency_[a];
-      if (limit != 0 && state_.remaining[a].size() >= limit) {
+      if (limit != 0 && remaining_[a].size() >= limit) {
         return false;
       }
     }
@@ -174,12 +252,12 @@ class Simulator {
         return false;
       }
       const auto& order = resources_->staticOrder[res];
-      if (order[state_.schedulePos[res]] != a) {
+      if (order[schedulePos_[res]] != a) {
         return false;
       }
     }
     for (const ChannelId c : graph_.actor(a).inputs) {
-      if (state_.tokens[c] < graph_.channel(c).consRate) {
+      if (tokens_[c] < graph_.channel(c).consRate) {
         return false;
       }
     }
@@ -188,22 +266,21 @@ class Simulator {
 
   void startFiring(ActorId a) {
     for (const ChannelId c : graph_.actor(a).inputs) {
-      state_.tokens[c] -= graph_.channel(c).consRate;
+      tokens_[c] -= graph_.channel(c).consRate;
     }
-    auto& r = state_.remaining[a];
+    auto& r = remaining_[a];
     r.insert(std::upper_bound(r.begin(), r.end(), execTime_[a]), execTime_[a]);
     const std::uint32_t res = resourceOf(a);
     if (res != ResourceConstraints::kUnbound) {
       ++resourceBusy_[res];
-      state_.schedulePos[res] =
-          (state_.schedulePos[res] + 1) % resources_->staticOrder[res].size();
+      schedulePos_[res] = (schedulePos_[res] + 1) % resources_->staticOrder[res].size();
     }
   }
 
   void completeFiring(ActorId a, std::size_t slot) {
-    state_.remaining[a].erase(state_.remaining[a].begin() + static_cast<std::ptrdiff_t>(slot));
+    remaining_[a].erase(remaining_[a].begin() + static_cast<std::ptrdiff_t>(slot));
     for (const ChannelId c : graph_.actor(a).outputs) {
-      state_.tokens[c] += graph_.channel(c).prodRate;
+      tokens_[c] += graph_.channel(c).prodRate;
     }
     const std::uint32_t res = resourceOf(a);
     if (res != ResourceConstraints::kUnbound) {
@@ -239,7 +316,7 @@ class Simulator {
         }
       }
       for (ActorId a = 0; a < graph_.actorCount(); ++a) {
-        auto& r = state_.remaining[a];
+        auto& r = remaining_[a];
         while (!r.empty() && r.front() == 0) {
           completeFiring(a, 0);
           changed = true;
@@ -254,13 +331,13 @@ class Simulator {
 
   void advanceTime() {
     std::uint64_t delta = std::numeric_limits<std::uint64_t>::max();
-    for (const auto& r : state_.remaining) {
+    for (const auto& r : remaining_) {
       if (!r.empty()) {
         delta = std::min(delta, r.front());
       }
     }
     now_ += delta;
-    for (auto& r : state_.remaining) {
+    for (auto& r : remaining_) {
       for (auto& v : r) {
         v -= delta;
       }
@@ -274,12 +351,140 @@ class Simulator {
   ThroughputOptions options_;
   const ResourceConstraints* resources_;
   std::vector<std::uint32_t> resourceBusy_;  // ongoing firings per resource
-  State state_;
+  std::vector<bool> storeToken_;             // channel token count in the key?
+  std::vector<std::uint64_t> tokens_;                  // per channel
+  std::vector<std::vector<std::uint64_t>> remaining_;  // per actor, sorted
+  std::vector<std::uint32_t> schedulePos_;             // per resource
   std::uint64_t now_ = 0;
   std::uint64_t refCompletions_ = 0;
 };
 
+/// Saturating accumulate for the HSDF-size estimate.
+void saturatingAdd(std::uint64_t& total, std::uint64_t amount) {
+  const std::uint64_t headroom = std::numeric_limits<std::uint64_t>::max() - total;
+  total += std::min(amount, headroom);
+}
+
+/// Can the MCR fast path reproduce the state-space semantics exactly?
+/// (Shared by Auto selection and forced-Mcr validation; `reason` names
+/// the first violated precondition.)
+bool mcrRepresentable(const sdf::TimedGraph& timed, const ResourceConstraints* resources,
+                      const ThroughputOptions& options, const std::vector<std::uint64_t>& q,
+                      const char** reason) {
+  if (options.autoConcurrency) {
+    *reason = "auto-concurrency requires the state-space engine";
+    return false;
+  }
+  for (ActorId a = 0; a < timed.graph.actorCount(); ++a) {
+    const std::uint32_t limit = timed.concurrencyLimit(a);
+    if (limit > 1) {
+      // The HSDF expansion encodes limits 1 (sequence edges) and 0 (no
+      // constraint); finite limits above 1 have no exact encoding yet.
+      *reason = "finite self-concurrency limit > 1";
+      return false;
+    }
+  }
+  if (resources != nullptr) {
+    std::vector<std::uint64_t> appearances(timed.graph.actorCount(), 0);
+    for (std::size_t r = 0; r < resources->staticOrder.size(); ++r) {
+      for (const ActorId a : resources->staticOrder[r]) {
+        if (resources->actorResource[a] != r) {
+          *reason = "static order schedules an actor on a foreign resource";
+          return false;
+        }
+        ++appearances[a];
+      }
+    }
+    for (ActorId a = 0; a < timed.graph.actorCount(); ++a) {
+      if (resources->actorResource[a] != ResourceConstraints::kUnbound &&
+          appearances[a] != q[a]) {
+        // The schedule-to-firing-copy mapping is only exact when the
+        // cyclic order covers exactly one graph iteration.
+        *reason = "static order does not cover exactly one iteration";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Estimated HSDF expansion size (actors + edges), saturating.
+std::uint64_t hsdfSizeEstimate(const sdf::TimedGraph& timed, const ResourceConstraints* resources,
+                               const std::vector<std::uint64_t>& q) {
+  std::uint64_t size = 0;
+  for (ActorId a = 0; a < timed.graph.actorCount(); ++a) {
+    saturatingAdd(size, q[a]);      // copies
+    saturatingAdd(size, q[a] + 1);  // sequence edges (upper bound)
+  }
+  for (const Channel& c : timed.graph.channels()) {
+    std::uint64_t tokenEdges = q[c.dst];
+    if (c.consRate != 0 && tokenEdges <= std::numeric_limits<std::uint64_t>::max() / c.consRate) {
+      tokenEdges *= c.consRate;
+    } else {
+      tokenEdges = std::numeric_limits<std::uint64_t>::max();
+    }
+    saturatingAdd(size, tokenEdges);
+  }
+  if (resources != nullptr) {
+    for (const auto& order : resources->staticOrder) {
+      saturatingAdd(size, order.size());
+    }
+  }
+  return size;
+}
+
+ThroughputResult dispatch(const sdf::TimedGraph& timed, const ResourceConstraints* resources,
+                          const ThroughputOptions& options) {
+  if (timed.execTime.size() != timed.graph.actorCount()) {
+    throw AnalysisError("computeThroughput: execTime size does not match actor count");
+  }
+  if (resources != nullptr) {
+    resources->validateFor(timed.graph);
+  }
+
+  if (options.engine != ThroughputEngine::StateSpace) {
+    const auto qOpt = sdf::computeRepetitionVector(timed.graph);
+    if (!qOpt) {
+      ThroughputResult result;
+      result.status = ThroughputResult::Status::Inconsistent;
+      result.engine = options.engine == ThroughputEngine::Mcr ? ThroughputEngine::Mcr
+                                                              : ThroughputEngine::StateSpace;
+      return result;
+    }
+    const char* reason = nullptr;
+    const bool representable = mcrRepresentable(timed, resources, options, *qOpt, &reason);
+    if (options.engine == ThroughputEngine::Mcr) {
+      if (!representable) {
+        throw AnalysisError(std::string("computeThroughput: MCR engine not applicable: ") +
+                            reason);
+      }
+      return computeThroughputMcr(timed, resources);
+    }
+    // Auto: take the fast path when it is exact and the expansion stays
+    // reasonably sized.
+    if (representable &&
+        hsdfSizeEstimate(timed, resources, *qOpt) <= options.maxMcrHsdfSize) {
+      return computeThroughputMcr(timed, resources);
+    }
+  }
+
+  Simulator sim(timed, options, resources);
+  return sim.run();
+}
+
 }  // namespace
+
+const char* throughputEngineName(ThroughputEngine engine) {
+  switch (engine) {
+    case ThroughputEngine::Auto:
+      return "auto";
+    case ThroughputEngine::StateSpace:
+      return "state-space";
+    case ThroughputEngine::Mcr:
+      return "mcr";
+  }
+  return "unknown";
+}
 
 void ResourceConstraints::validateFor(const sdf::Graph& g) const {
   if (actorResource.size() != g.actorCount()) {
@@ -310,22 +515,13 @@ void ResourceConstraints::validateFor(const sdf::Graph& g) const {
 }
 
 ThroughputResult computeThroughput(const sdf::TimedGraph& timed, const ThroughputOptions& options) {
-  if (timed.execTime.size() != timed.graph.actorCount()) {
-    throw AnalysisError("computeThroughput: execTime size does not match actor count");
-  }
-  Simulator sim(timed, options, nullptr);
-  return sim.run();
+  return dispatch(timed, nullptr, options);
 }
 
 ThroughputResult computeThroughput(const sdf::TimedGraph& timed,
                                    const ResourceConstraints& resources,
                                    const ThroughputOptions& options) {
-  if (timed.execTime.size() != timed.graph.actorCount()) {
-    throw AnalysisError("computeThroughput: execTime size does not match actor count");
-  }
-  resources.validateFor(timed.graph);
-  Simulator sim(timed, options, &resources);
-  return sim.run();
+  return dispatch(timed, &resources, options);
 }
 
 }  // namespace mamps::analysis

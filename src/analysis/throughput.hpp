@@ -1,13 +1,19 @@
-// Self-timed state-space throughput analysis (Ghamarian et al. [3]).
+// Unified throughput analysis entry point.
 //
-// Executes the operational semantics of a timed SDF graph: every actor
-// fires as soon as it is enabled (tokens are consumed at firing start
-// and produced at firing end). Because the state space of a consistent,
-// strongly-bounded graph is finite, the execution eventually revisits a
-// state; the periodic phase between two visits determines the long-term
-// average throughput exactly.
+// Two exact engines compute the self-timed throughput of a timed SDF
+// graph:
 //
-// The flow defines throughput as graph iterations per clock cycle; the
+//   - a maximum-cycle-ratio (MCR) fast path that expands the graph to
+//     HSDF and runs Howard's policy iteration (polynomial time, see
+//     analysis/mcm.hpp), and
+//   - a state-space engine that executes the operational semantics
+//     (Ghamarian et al. [3]) until a state recurs (exponential worst
+//     case, but defined for every graph, including divergent ones).
+//
+// computeThroughput() picks the fast path whenever it is exact for the
+// requested semantics and falls back to the state-space engine
+// otherwise; ThroughputResult::engine reports which one ran. The flow
+// defines throughput as graph iterations per clock cycle; the
 // platform's system clock is the base time unit (Section 5).
 #pragma once
 
@@ -17,6 +23,13 @@
 #include "sdf/graph.hpp"
 #include "support/rational.hpp"
 
+/// \namespace mamps
+/// \brief Root namespace of the MAMPS mapping-flow reproduction.
+
+/// \namespace mamps::analysis
+/// \brief Throughput, cycle-ratio, and buffer-capacity analyses of
+/// timed SDF graphs (the performance-guarantee layer of the flow).
+
 namespace mamps::analysis {
 
 /// Processor sharing: actors bound to the same resource execute
@@ -25,6 +38,7 @@ namespace mamps::analysis {
 /// (Section 6.3: "scheduling ... is done through a static order schedule
 /// which reduces the scheduler to a lookup table").
 struct ResourceConstraints {
+  /// Sentinel resource id meaning "not bound to a shared resource".
   static constexpr std::uint32_t kUnbound = 0xffffffff;
 
   /// actor id -> resource id (kUnbound = the actor has its own resource,
@@ -34,20 +48,64 @@ struct ResourceConstraints {
   /// > 1 appear multiple times. Every bound actor must appear.
   std::vector<std::vector<sdf::ActorId>> staticOrder;
 
-  /// Shape checks against a graph; throws AnalysisError on violations.
+  /// Shape checks against a graph.
+  /// @param g the graph the constraints will be applied to
+  /// @throws AnalysisError when actorResource does not cover every
+  ///   actor, a schedule references an unknown actor, a resource id is
+  ///   out of range, or a bound actor is missing from its static order.
   void validateFor(const sdf::Graph& g) const;
 };
 
+/// Selects the algorithm behind computeThroughput().
+enum class ThroughputEngine {
+  /// Use the MCR fast path when it is exact for the requested semantics
+  /// (see docs/throughput.md for the precise conditions), otherwise
+  /// fall back to the state-space engine. The default.
+  Auto,
+  /// Force the state-space engine (always defined; exponential worst
+  /// case; the only engine supporting auto-concurrency and divergence
+  /// detection).
+  StateSpace,
+  /// Force the MCR fast path. computeThroughput() throws AnalysisError
+  /// when the fast path cannot represent the requested semantics
+  /// (auto-concurrency, finite self-concurrency limits > 1, or static
+  /// orders that do not cover one full iteration).
+  Mcr,
+};
+
+/// Human-readable engine name ("auto", "state-space", "mcr").
+/// @param engine the engine to name
+/// @return a static, never-null C string
+[[nodiscard]] const char* throughputEngineName(ThroughputEngine engine);
+
+/// Tuning knobs for computeThroughput().
 struct ThroughputOptions {
   /// Allow an actor to fire concurrently with itself. The MAMPS platform
   /// always serializes firings of an actor on its processing element, so
-  /// the flow analyses with auto-concurrency disabled.
+  /// the flow analyses with auto-concurrency disabled. Forces the
+  /// state-space engine under ThroughputEngine::Auto.
   bool autoConcurrency = false;
-  /// Safety cap on simulated quiescent steps before giving up.
+  /// Safety cap on simulated quiescent steps before the state-space
+  /// engine gives up with Status::StepLimit.
   std::uint64_t maxSteps = 10'000'000;
+  /// Which engine to run; see ThroughputEngine.
+  ThroughputEngine engine = ThroughputEngine::Auto;
+  /// Auto only: fall back to the state-space engine when the HSDF
+  /// expansion would exceed this many actors plus edges (guards against
+  /// graphs whose repetition vector explodes the expansion).
+  std::uint64_t maxMcrHsdfSize = 1'000'000;
+  /// State-space only: bound on the number of stored quiescent states.
+  /// When the store grows past this, the oldest (transient-prefix)
+  /// states are pruned; recurrence detection then latches onto a later
+  /// revisit of the periodic phase, trading steps for memory. Periodic
+  /// phases longer than roughly half this bound can no longer be
+  /// detected and end in Status::StepLimit.
+  std::uint64_t maxStoredStates = 1u << 20;
 };
 
+/// Outcome of a throughput analysis.
 struct ThroughputResult {
+  /// Verdict of the analysis.
   enum class Status {
     Ok,            ///< throughput computed
     Deadlock,      ///< execution halts; throughput is zero
@@ -55,30 +113,56 @@ struct ThroughputResult {
     Unbounded,     ///< a zero-execution-time cycle fires infinitely fast
     Diverged,      ///< tokens accumulate without bound (graph is not
                    ///< strongly bounded; analyze with buffer capacities
-                   ///< or use throughputViaMcr)
+                   ///< or use the MCR engine, which reports the long-run
+                   ///< iteration rate for such graphs)
     StepLimit,     ///< maxSteps exceeded before a recurrent state
   };
 
+  /// Verdict; iterationsPerCycle is only meaningful for Ok.
   Status status = Status::StepLimit;
   /// Long-term average graph iterations per clock cycle (valid for Ok;
   /// zero for Deadlock).
   Rational iterationsPerCycle = Rational(0);
-  /// Number of quiescent states stored until recurrence.
+  /// The engine that produced this result (never Auto).
+  ThroughputEngine engine = ThroughputEngine::StateSpace;
+  /// State-space engine: number of quiescent states explored until the
+  /// verdict (stored states plus states dropped by prefix pruning; a
+  /// pruned-then-revisited state counts in both).
   std::uint64_t statesExplored = 0;
-  /// Length of the periodic phase in clock cycles.
+  /// State-space engine: length of the periodic phase in clock cycles.
   std::uint64_t periodCycles = 0;
+  /// MCR engine: number of actors of the analyzed HSDF expansion.
+  std::uint64_t hsdfActors = 0;
 
+  /// True when the analysis completed with a throughput value.
+  /// @return status == Status::Ok
   [[nodiscard]] bool ok() const { return status == Status::Ok; }
 };
 
-/// Compute the self-timed throughput of `timed`. `timed.execTime` must
-/// have one entry per actor.
+/// Compute the self-timed throughput of `timed` with the engine chosen
+/// by `options.engine` (Auto picks the MCR fast path when exact).
+/// @param timed the graph to analyze; `timed.execTime` must have one
+///   entry per actor
+/// @param options engine selection and safety limits
+/// @return the throughput verdict, including which engine ran
+/// @throws AnalysisError on shape violations or when a forced engine
+///   cannot represent the requested semantics
 [[nodiscard]] ThroughputResult computeThroughput(const sdf::TimedGraph& timed,
                                                  const ThroughputOptions& options = {});
 
 /// Resource-constrained variant: actors bound to a resource additionally
 /// wait for the resource to be idle and for their turn in its static
-/// order. This is the analysis the flow runs on binding-aware graphs.
+/// order. This is the analysis the flow runs on binding-aware graphs;
+/// under Auto it uses the MCR fast path with the static orders encoded
+/// as HSDF precedence edges whenever each bound actor appears exactly
+/// q[a] times in its order.
+/// @param timed the graph to analyze; `timed.execTime` must have one
+///   entry per actor
+/// @param resources the binding and static-order schedules
+/// @param options engine selection and safety limits
+/// @return the throughput verdict, including which engine ran
+/// @throws AnalysisError on shape violations or when a forced engine
+///   cannot represent the requested semantics
 [[nodiscard]] ThroughputResult computeThroughput(const sdf::TimedGraph& timed,
                                                  const ResourceConstraints& resources,
                                                  const ThroughputOptions& options = {});

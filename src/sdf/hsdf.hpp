@@ -12,10 +12,16 @@
 
 #include "sdf/graph.hpp"
 
+/// \namespace mamps::sdf
+/// \brief The SDF graph model: structure, repetition vectors, HSDF
+/// expansion, application models, and serialization.
+
 namespace mamps::sdf {
 
 /// Result of expanding an SDF graph into its homogeneous equivalent.
 struct HsdfExpansion {
+  /// The expanded graph; all rates are 1 and execution times are copied
+  /// from the original actor of each firing copy.
   TimedGraph hsdf;
   /// hsdf actor id -> original SDF actor id
   std::vector<ActorId> originalActor;
@@ -23,9 +29,15 @@ struct HsdfExpansion {
   std::vector<std::uint32_t> firingIndex;
 };
 
-/// Expand `timed` into an equivalent HSDF graph. Throws AnalysisError
-/// when the graph is inconsistent. The conversion preserves the
-/// self-timed throughput of every actor.
+/// Expand `timed` into an equivalent HSDF graph. The conversion
+/// preserves the self-timed throughput of every actor: channels become
+/// token-level dependencies between firing copies, and actors with a
+/// self-concurrency limit of 1 get sequence edges between consecutive
+/// copies (with one wrap-around token), so analyzing the expansion with
+/// maximum-cycle-ratio techniques reproduces the state-space result.
+/// @param timed the SDF graph with one execution time per actor
+/// @return the HSDF graph plus the copy-to-original mapping
+/// @throws AnalysisError when the graph is inconsistent
 [[nodiscard]] HsdfExpansion toHsdf(const TimedGraph& timed);
 
 }  // namespace mamps::sdf

@@ -119,12 +119,72 @@ TEST_P(RandomGraphProperty, StateSpaceThroughputMatchesMcrOnHsdf) {
   const TimedGraph bounded =
       withCapacities(TimedGraph{g, test::randomExecTimes(rng, g)}, *capacities);
 
-  const auto viaStateSpace = computeThroughput(bounded);
+  ThroughputOptions stateSpace;
+  stateSpace.engine = ThroughputEngine::StateSpace;
+  const auto viaStateSpace = computeThroughput(bounded, stateSpace);
   const auto viaMcr = throughputViaMcr(bounded);
   ASSERT_TRUE(viaStateSpace.ok());
   ASSERT_TRUE(viaMcr.has_value());
   EXPECT_EQ(viaStateSpace.iterationsPerCycle, *viaMcr)
       << "state-space and MCR throughput disagree (seed " << GetParam() << ")";
+}
+
+TEST_P(RandomGraphProperty, ResourceConstrainedEnginesAgree) {
+  // Bind the actors of a strongly-bounded random graph to a couple of
+  // shared resources with a randomized full-iteration static order and
+  // pin the two engines against each other: the MCR encoding of the
+  // schedules must reproduce the state-space semantics exactly,
+  // including schedule-induced deadlocks.
+  Rng rng = makeRng(9000);
+  test::RandomGraphOptions opt;
+  opt.maxActors = 4;
+  opt.maxQ = 3;
+  const Graph g = test::randomConsistentGraph(rng, opt);
+  const auto capacities = minimalDeadlockFreeCapacities(g);
+  ASSERT_TRUE(capacities.has_value());
+  TimedGraph bounded = withCapacities(TimedGraph{g, test::randomExecTimes(rng, g)}, *capacities);
+  const auto q = *sdf::computeRepetitionVector(bounded.graph);
+
+  ResourceConstraints resources;
+  const std::uint32_t resourceCount = static_cast<std::uint32_t>(rng.range(1, 2));
+  resources.staticOrder.resize(resourceCount);
+  resources.actorResource.assign(bounded.graph.actorCount(), ResourceConstraints::kUnbound);
+  // Only the original actors are bound (the space back-edge construction
+  // adds no actors); leave a random subset unbound.
+  std::vector<std::vector<sdf::ActorId>> pending(resourceCount);
+  for (sdf::ActorId a = 0; a < g.actorCount(); ++a) {
+    if (rng.chance(0.25)) {
+      continue;  // dedicated resource
+    }
+    const auto r = static_cast<std::uint32_t>(rng.range(0, resourceCount - 1));
+    resources.actorResource[a] = r;
+    for (std::uint64_t i = 0; i < q[a]; ++i) {
+      pending[r].push_back(a);
+    }
+  }
+  // Random interleaving that keeps per-actor appearance order intact
+  // (any interleaving does: appearances of one actor are interchangeable).
+  for (std::uint32_t r = 0; r < resourceCount; ++r) {
+    auto& source = pending[r];
+    auto& order = resources.staticOrder[r];
+    while (!source.empty()) {
+      const std::size_t pick = rng.range(0, source.size() - 1);
+      order.push_back(source[pick]);
+      source.erase(source.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+
+  ThroughputOptions stateSpace;
+  stateSpace.engine = ThroughputEngine::StateSpace;
+  const auto viaStateSpace = computeThroughput(bounded, resources, stateSpace);
+  const auto viaMcr = computeThroughput(bounded, resources);
+  ASSERT_EQ(viaMcr.engine, ThroughputEngine::Mcr)
+      << "full-iteration schedules must stay on the fast path";
+  ASSERT_EQ(viaStateSpace.status, viaMcr.status) << "seed " << GetParam();
+  if (viaStateSpace.ok()) {
+    EXPECT_EQ(viaStateSpace.iterationsPerCycle, viaMcr.iterationsPerCycle)
+        << "seed " << GetParam();
+  }
 }
 
 TEST_P(RandomGraphProperty, HowardMatchesBruteForceOnRandomHsdf) {

@@ -324,6 +324,27 @@ TEST(FlowTest, MoreTilesDoNotHurtThroughput) {
             one->throughput.iterationsPerCycle);
 }
 
+TEST(FlowTest, BindingAwareGraphsStayOnTheMcrFastPath) {
+  // The flow's hot path: binding-aware graphs (comm-model expansion,
+  // capacity back-edges, static-order schedules) must be analyzable by
+  // the MCR engine, and the fast path must agree with the state-space
+  // engine to the exact rational on both interconnects.
+  const ApplicationModel app = test::makeAppModel(test::figure2Graph(), {500, 800, 400});
+  for (const auto kind : {InterconnectKind::Fsl, InterconnectKind::NocMesh}) {
+    const auto result = mapApplication(app, makeArch(3, kind), {});
+    ASSERT_TRUE(result.has_value());
+    ASSERT_TRUE(result->throughput.ok());
+    EXPECT_EQ(result->throughput.engine, analysis::ThroughputEngine::Mcr);
+
+    analysis::ThroughputOptions stateSpace;
+    stateSpace.engine = analysis::ThroughputEngine::StateSpace;
+    const auto reference =
+        analysis::computeThroughput(result->model.graph, result->model.resources, stateSpace);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(result->throughput.iterationsPerCycle, reference.iterationsPerCycle);
+  }
+}
+
 TEST(FlowTest, NocMappingWorks) {
   const ApplicationModel app = test::makeAppModel(test::figure2Graph(), {500, 800, 400});
   const auto result = mapApplication(app, makeArch(4, InterconnectKind::NocMesh), {});
