@@ -1,0 +1,96 @@
+// DSE engine benchmark: sweep >= 100 MJPEG design points twice in the
+// same run — once with the serial from-scratch baseline (no shared
+// application preparation, every buffer-growth round rebuilds the
+// binding-aware model and runs a cold analysis) and once with the
+// engine (shared AppAnalysisCache, incremental re-analysis with
+// warm-started Howard, worker pool) — and verify the two sweeps'
+// throughput rationals are bit-identical. Prints one JSON object to
+// stdout; the trajectory at ../BENCH_dse.json records these numbers
+// across PRs. Exits non-zero when the sweeps disagree.
+#include <cstdio>
+#include <thread>
+
+#include "apps/mjpeg/actors.hpp"
+#include "apps/mjpeg/testdata.hpp"
+#include "mapping/dse.hpp"
+
+using namespace mamps;
+
+int main() {
+  const auto calibration = mjpeg::encodeSequence(mjpeg::makeSyntheticSequence(2, 64, 48), {});
+  mjpeg::MjpegApp app = mjpeg::buildMjpegApp(mjpeg::calibrateWcets(calibration));
+  // Demand a throughput most configurations only reach after several
+  // buffer-growth rounds (and single-tile ones never do), so every
+  // design point exercises the re-analysis loop the engine accelerates.
+  app.model.setThroughputConstraint(Rational(1, 1'250'000));
+
+  std::vector<mapping::DesignPoint> points;
+  for (const auto serialization :
+       {comm::SerializationMode::OnProcessor, comm::SerializationMode::CommAssist}) {
+    for (const auto kind :
+         {platform::InterconnectKind::Fsl, platform::InterconnectKind::NocMesh}) {
+      for (std::uint32_t tiles = 1; tiles <= 5; ++tiles) {
+        for (const std::uint32_t scale : {1u, 2u}) {
+          for (const std::uint32_t wires : {8u, 4u, 2u}) {
+            mapping::DesignPoint point;
+            point.platform.tileCount = tiles;
+            point.platform.interconnect = kind;
+            point.options.serialization = serialization;
+            point.options.initialBufferScale = scale;
+            point.options.nocWiresPerConnection = wires;
+            point.options.bufferGrowthRounds = 6;
+            points.push_back(point);
+          }
+        }
+      }
+    }
+  }
+
+  // Baseline: serial, from-scratch, no reuse anywhere.
+  std::vector<mapping::DesignPoint> baselinePoints = points;
+  for (mapping::DesignPoint& point : baselinePoints) {
+    point.options.incrementalAnalysis = false;
+  }
+  mapping::DseOptions serialOptions;
+  serialOptions.threads = 1;
+  serialOptions.reusePreparation = false;
+  const mapping::DseResult baseline =
+      mapping::exploreDesignSpace(app.model, baselinePoints, serialOptions);
+
+  // The engine: incremental re-analysis, shared preparation, worker pool.
+  const mapping::DseResult engine = mapping::exploreDesignSpace(app.model, points, {});
+
+  bool identical = baseline.points.size() == engine.points.size();
+  std::size_t met = 0;
+  for (std::size_t i = 0; identical && i < points.size(); ++i) {
+    const auto& b = baseline.points[i];
+    const auto& e = engine.points[i];
+    identical = b.feasible() == e.feasible();
+    if (identical && e.feasible()) {
+      identical = b.mapping->throughput.status == e.mapping->throughput.status &&
+                  b.mapping->throughput.iterationsPerCycle ==
+                      e.mapping->throughput.iterationsPerCycle &&
+                  b.mapping->meetsConstraint == e.mapping->meetsConstraint &&
+                  b.mapping->mapping.localCapacityTokens == e.mapping->mapping.localCapacityTokens &&
+                  b.mapping->mapping.srcBufferTokens == e.mapping->mapping.srcBufferTokens;
+      met += e.mapping->meetsConstraint ? 1 : 0;
+    }
+  }
+
+  const double speedup =
+      engine.totalSeconds > 0.0 ? baseline.totalSeconds / engine.totalSeconds : 0.0;
+  std::printf("{\n");
+  std::printf("  \"bench\": \"bench_dse\",\n");
+  std::printf("  \"workload\": \"MJPEG decoder, constraint 1/1250000, growth budget 6\",\n");
+  std::printf("  \"points\": %zu,\n", points.size());
+  std::printf("  \"threads\": %u,\n", std::max(1u, std::thread::hardware_concurrency()));
+  std::printf("  \"feasible\": %zu,\n", engine.feasibleCount());
+  std::printf("  \"meets_constraint\": %zu,\n", met);
+  std::printf("  \"baseline_seconds\": %.3f,\n", baseline.totalSeconds);
+  std::printf("  \"engine_seconds\": %.3f,\n", engine.totalSeconds);
+  std::printf("  \"engine_mean_point_ms\": %.2f,\n", engine.meanPointSeconds() * 1e3);
+  std::printf("  \"speedup\": %.2f,\n", speedup);
+  std::printf("  \"identical_rationals\": %s\n", identical ? "true" : "false");
+  std::printf("}\n");
+  return identical ? 0 : 1;
+}

@@ -14,12 +14,7 @@ using sdf::ActorId;
 using sdf::ChannelId;
 using sdf::Graph;
 
-struct Edge {
-  std::uint32_t from = 0;
-  std::uint32_t to = 0;
-  std::int64_t weight = 0;  ///< execution time of `from`
-  std::int64_t delay = 0;   ///< initial tokens
-};
+using Edge = CycleRatioEdge;
 
 void requireHsdf(const sdf::TimedGraph& hsdf) {
   for (const sdf::Channel& c : hsdf.graph.channels()) {
@@ -60,37 +55,108 @@ std::vector<Edge> buildEdges(const sdf::TimedGraph& hsdf) {
   return edges;
 }
 
-/// Nodes on at least one cycle: iteratively strip nodes with zero
-/// in-degree or zero out-degree.
+/// Nodes on at least one cycle: Kahn-style peeling of nodes with zero
+/// in-degree or zero out-degree, O(V + E).
 std::vector<bool> nodesOnCycles(std::size_t n, const std::vector<Edge>& edges) {
   std::vector<bool> alive(n, true);
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    std::vector<std::uint32_t> inDeg(n, 0);
-    std::vector<std::uint32_t> outDeg(n, 0);
-    for (const Edge& e : edges) {
-      if (alive[e.from] && alive[e.to]) {
-        ++outDeg[e.from];
-        ++inDeg[e.to];
+  std::vector<std::uint32_t> inDeg(n, 0);
+  std::vector<std::uint32_t> outDeg(n, 0);
+  std::vector<std::vector<std::uint32_t>> inAdj(n);
+  std::vector<std::vector<std::uint32_t>> outAdj(n);
+  for (const Edge& e : edges) {
+    ++outDeg[e.from];
+    ++inDeg[e.to];
+    outAdj[e.from].push_back(e.to);
+    inAdj[e.to].push_back(e.from);
+  }
+  std::vector<std::uint32_t> queue;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (inDeg[v] == 0 || outDeg[v] == 0) {
+      queue.push_back(static_cast<std::uint32_t>(v));
+      alive[v] = false;
+    }
+  }
+  while (!queue.empty()) {
+    const std::uint32_t v = queue.back();
+    queue.pop_back();
+    for (const std::uint32_t u : inAdj[v]) {
+      if (alive[u] && --outDeg[u] == 0) {
+        alive[u] = false;
+        queue.push_back(u);
       }
     }
-    for (std::size_t v = 0; v < n; ++v) {
-      if (alive[v] && (inDeg[v] == 0 || outDeg[v] == 0)) {
-        alive[v] = false;
-        changed = true;
+    for (const std::uint32_t u : outAdj[v]) {
+      if (alive[u] && --inDeg[u] == 0) {
+        alive[u] = false;
+        queue.push_back(u);
       }
     }
   }
   return alive;
 }
 
+/// Ratio-preserving chain contraction: a node with exactly one incoming
+/// and one outgoing edge lies on a cycle only via both, so the pair
+/// (u -> v, v -> x) can be replaced by u -> x with summed weight and
+/// delay without changing any cycle's ratio. HSDF expansions are mostly
+/// such chains (firing-copy sequences, word-level comm stages), so this
+/// typically shrinks the Howard problem by one to two orders of
+/// magnitude. Contracting never changes the degree of u or x, so a
+/// single pass over the initial candidates reaches the fixpoint.
+/// `edges` is compacted in place.
+void contractChains(std::size_t n, std::vector<Edge>& edges) {
+  std::vector<std::uint32_t> inDeg(n, 0);
+  std::vector<std::uint32_t> outDeg(n, 0);
+  for (const Edge& e : edges) {
+    ++outDeg[e.from];
+    ++inDeg[e.to];
+  }
+  // Per-node single-slot adjacency; only meaningful for degree-1 nodes.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> soleIn(n, kNone);
+  std::vector<std::size_t> soleOut(n, kNone);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (inDeg[edges[i].to] == 1) {
+      soleIn[edges[i].to] = i;
+    }
+    if (outDeg[edges[i].from] == 1) {
+      soleOut[edges[i].from] = i;
+    }
+  }
+  std::vector<bool> dead(edges.size(), false);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (inDeg[v] != 1 || outDeg[v] != 1) {
+      continue;
+    }
+    const std::size_t e1 = soleIn[v];
+    const std::size_t e2 = soleOut[v];
+    if (e1 == e2) {
+      continue;  // self-loop: an irreducible single-node cycle
+    }
+    // Merge v into its predecessor: e1 becomes u -> x, e2 dies.
+    edges[e1].to = edges[e2].to;
+    edges[e1].weight += edges[e2].weight;
+    edges[e1].delay += edges[e2].delay;
+    dead[e2] = true;
+    if (soleIn[edges[e1].to] == e2) {
+      soleIn[edges[e1].to] = e1;
+    }
+  }
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (!dead[i]) {
+      edges[kept++] = edges[i];
+    }
+  }
+  edges.resize(kept);
+}
+
 }  // namespace
 
-CycleRatioResult maxCycleRatioHoward(const sdf::TimedGraph& hsdf) {
-  requireHsdf(hsdf);
-  const std::size_t n = hsdf.graph.actorCount();
-  std::vector<Edge> allEdges = buildEdges(hsdf);
+CycleRatioResult CycleRatioSolver::solve(std::size_t nodeCount,
+                                         const std::vector<CycleRatioEdge>& allEdges) {
+  const std::size_t n = nodeCount;
+  constexpr std::uint32_t kNoSuccessor = static_cast<std::uint32_t>(-1);
 
   // Restrict to the cyclic core; acyclic parts never constrain the
   // steady-state period.
@@ -123,6 +189,13 @@ CycleRatioResult maxCycleRatioHoward(const sdf::TimedGraph& hsdf) {
     }
   }
 
+  // Shrink the problem: HSDF expansions are dominated by unbranched
+  // chains, which Howard would walk over and over. Contraction keeps
+  // every cycle's weight and delay sums, so the maximum ratio is
+  // unchanged (cross-checked against the brute-force oracle in the
+  // property suite).
+  contractChains(n, edges);
+
   // Howard's policy iteration, maximizing the ratio sum(w)/sum(d).
   // policy[v] = index into `edges` of the chosen out-edge of v.
   std::vector<std::vector<std::size_t>> outEdges(n);
@@ -130,39 +203,72 @@ CycleRatioResult maxCycleRatioHoward(const sdf::TimedGraph& hsdf) {
     outEdges[edges[i].from].push_back(i);
   }
 
+  // Initial policy: the warm-start hints from the previous solve when
+  // available (stored as preferred successor, so they survive a changed
+  // edge layout), otherwise the first out-edge.
   constexpr std::size_t kNoEdge = static_cast<std::size_t>(-1);
   std::vector<std::size_t> policy(n, kNoEdge);
+  const bool haveHints = preferredSuccessor_.size() == n;
   for (std::size_t v = 0; v < n; ++v) {
-    if (!outEdges[v].empty()) {
-      policy[v] = outEdges[v].front();
+    if (outEdges[v].empty()) {
+      continue;
+    }
+    policy[v] = outEdges[v].front();
+    if (haveHints && preferredSuccessor_[v] != kNoSuccessor) {
+      for (const std::size_t ei : outEdges[v]) {
+        if (edges[ei].to == preferredSuccessor_[v]) {
+          policy[v] = ei;
+          break;
+        }
+      }
     }
   }
 
-  std::vector<Rational> ratio(n, Rational(0));  // ratio of the cycle v reaches
-  std::vector<Rational> value(n, Rational(0));  // relative potentials
+  // Per-node evaluation state. Ratios are kept as *unnormalized*
+  // integer fractions (the raw weight/delay sums of the reached cycle)
+  // and values as 128-bit numerators over the cycle's delay sum; every
+  // comparison cross-multiplies instead of normalizing, which removes
+  // all gcd work from the hot loop. The final answer is materialized as
+  // a normalized Rational, so results are bit-identical to the
+  // rational-arithmetic formulation. Magnitudes stay far inside 128
+  // bits: |valueNum| <= pathLength * (maxWeight + cycleWeight) *
+  // cycleDelay, and comparisons multiply by one more delay sum.
+  using Wide = __int128;
+  std::vector<std::int64_t> ratioNum(n, 0);  // cycle weight sum
+  std::vector<std::int64_t> ratioDen(n, 1);  // cycle delay sum (> 0)
+  std::vector<Wide> valueNum(n, 0);          // potential * ratioDen[v]
   std::vector<bool> hasRatio(n, false);
+  // ratio[a] > ratio[b] as fractions (denominators are positive).
+  const auto ratioGreater = [&](std::size_t a, std::size_t b) {
+    return Wide(ratioNum[a]) * ratioDen[b] > Wide(ratioNum[b]) * ratioDen[a];
+  };
+  const auto ratioEqual = [&](std::size_t a, std::size_t b) {
+    return Wide(ratioNum[a]) * ratioDen[b] == Wide(ratioNum[b]) * ratioDen[a];
+  };
+
+  std::vector<int> mark(n, -1);  // visit epoch of the evaluation walks
+  std::vector<std::size_t> path;
+  std::vector<std::size_t> cycle;
 
   const std::size_t maxIterations = edges.size() * n + 16;
   for (std::size_t iteration = 0; iteration < maxIterations; ++iteration) {
     // --- Policy evaluation -------------------------------------------
     std::fill(hasRatio.begin(), hasRatio.end(), false);
+    std::fill(mark.begin(), mark.end(), -1);
     // Find the cycle each node reaches in the functional policy graph.
-    std::vector<int> mark(n, -1);  // visit epoch
     for (std::size_t start = 0; start < n; ++start) {
       if (policy[start] == kNoEdge || hasRatio[start]) {
         continue;
       }
       // Walk until we hit something marked in this walk (new cycle) or
       // an already-evaluated node.
-      std::vector<std::size_t> path;
+      path.clear();
       std::size_t v = start;
       while (policy[v] != kNoEdge && mark[v] == -1 && !hasRatio[v]) {
         mark[v] = static_cast<int>(start);
         path.push_back(v);
         v = edges[policy[v]].to;
       }
-      Rational r(0);
-      std::size_t cycleEntry = v;
       if (policy[v] != kNoEdge && mark[v] == static_cast<int>(start) && !hasRatio[v]) {
         // New cycle found; compute its ratio.
         std::int64_t w = 0;
@@ -178,15 +284,14 @@ CycleRatioResult maxCycleRatioHoward(const sdf::TimedGraph& hsdf) {
           result.status = CycleRatioResult::Status::Deadlock;
           return result;
         }
-        r = Rational(w, d);
-        // Anchor the cycle: value(v) = 0, propagate around the cycle.
-        value[v] = Rational(0);
-        ratio[v] = r;
+        // Anchor the cycle: value(v) = 0, propagate around the cycle by
+        // walking forward and solving value(u) = w(u) - r*d(u) +
+        // value(next), all over the common denominator d.
+        valueNum[v] = 0;
+        ratioNum[v] = w;
+        ratioDen[v] = d;
         hasRatio[v] = true;
-        // Walk the cycle backwards by walking forward and solving
-        // value(u) = w(u) - r*d(u) + value(next).
-        // Collect the cycle nodes in order first.
-        std::vector<std::size_t> cycle;
+        cycle.clear();
         u = v;
         do {
           cycle.push_back(u);
@@ -195,15 +300,12 @@ CycleRatioResult maxCycleRatioHoward(const sdf::TimedGraph& hsdf) {
         for (std::size_t i = cycle.size(); i-- > 1;) {
           const std::size_t node = cycle[i];
           const Edge& e = edges[policy[node]];
-          const std::size_t next = e.to;
-          value[node] = Rational(e.weight) - r * Rational(e.delay) + value[next];
-          ratio[node] = r;
+          valueNum[node] = Wide(e.weight) * d - Wide(w) * e.delay + valueNum[e.to];
+          ratioNum[node] = w;
+          ratioDen[node] = d;
           hasRatio[node] = true;
         }
-        cycleEntry = v;
-      } else if (hasRatio[v]) {
-        cycleEntry = v;
-      } else {
+      } else if (!hasRatio[v]) {
         // Walk ended at a node without out-edge inside the cyclic core —
         // cannot happen because every core node lies on a cycle.
         continue;
@@ -215,11 +317,12 @@ CycleRatioResult maxCycleRatioHoward(const sdf::TimedGraph& hsdf) {
           continue;  // part of the freshly evaluated cycle
         }
         const Edge& e = edges[policy[node]];
-        value[node] = Rational(e.weight) - ratio[e.to] * Rational(e.delay) + value[e.to];
-        ratio[node] = ratio[e.to];
+        valueNum[node] = Wide(e.weight) * ratioDen[e.to] - Wide(ratioNum[e.to]) * e.delay +
+                         valueNum[e.to];
+        ratioNum[node] = ratioNum[e.to];
+        ratioDen[node] = ratioDen[e.to];
         hasRatio[node] = true;
       }
-      (void)cycleEntry;
     }
 
     // --- Policy improvement ------------------------------------------
@@ -233,13 +336,16 @@ CycleRatioResult maxCycleRatioHoward(const sdf::TimedGraph& hsdf) {
         if (!hasRatio[e.to]) {
           continue;
         }
-        if (ratio[e.to] > ratio[v]) {
+        if (ratioGreater(e.to, v)) {
           policy[v] = ei;
           improved = true;
-        } else if (ratio[e.to] == ratio[v]) {
-          const Rational candidate =
-              Rational(e.weight) - ratio[v] * Rational(e.delay) + value[e.to];
-          if (candidate > value[v]) {
+        } else if (ratioEqual(e.to, v)) {
+          // candidate = w(e) - r*d(e) + value(e.to), over denominator
+          // ratioDen[e.to]; compare against value(v) by cross-multiplying
+          // the two denominators.
+          const Wide candidate = Wide(e.weight) * ratioDen[e.to] -
+                                 Wide(ratioNum[e.to]) * e.delay + valueNum[e.to];
+          if (candidate * ratioDen[v] > valueNum[v] * ratioDen[e.to]) {
             policy[v] = ei;
             improved = true;
           }
@@ -247,24 +353,36 @@ CycleRatioResult maxCycleRatioHoward(const sdf::TimedGraph& hsdf) {
       }
     }
     if (!improved) {
-      Rational best(0);
-      bool any = false;
+      std::size_t best = n;
       for (std::size_t v = 0; v < n; ++v) {
-        if (hasRatio[v] && (!any || ratio[v] > best)) {
-          best = ratio[v];
-          any = true;
+        if (hasRatio[v] && (best == n || ratioGreater(v, best))) {
+          best = v;
         }
       }
-      if (!any) {
+      if (best == n) {
         result.status = CycleRatioResult::Status::Acyclic;
         return result;
       }
       result.status = CycleRatioResult::Status::Ok;
-      result.ratio = best;
+      result.ratio = Rational(ratioNum[best], ratioDen[best]);
+      // Remember the optimal policy for the next solve on a perturbed
+      // version of this graph.
+      preferredSuccessor_.assign(n, kNoSuccessor);
+      for (std::size_t v = 0; v < n; ++v) {
+        if (policy[v] != kNoEdge) {
+          preferredSuccessor_[v] = edges[policy[v]].to;
+        }
+      }
       return result;
     }
   }
-  throw AnalysisError("maxCycleRatioHoward: policy iteration failed to converge");
+  throw AnalysisError("CycleRatioSolver: policy iteration failed to converge");
+}
+
+CycleRatioResult maxCycleRatioHoward(const sdf::TimedGraph& hsdf) {
+  requireHsdf(hsdf);
+  CycleRatioSolver solver;
+  return solver.solve(hsdf.graph.actorCount(), buildEdges(hsdf));
 }
 
 CycleRatioResult maxCycleRatioBruteForce(const sdf::TimedGraph& hsdf) {

@@ -48,6 +48,42 @@ struct CycleRatioResult {
   [[nodiscard]] bool ok() const { return status == Status::Ok; }
 };
 
+/// One precedence edge of a cycle-ratio problem: `weight` is the
+/// execution time of the source node, `delay` the token count.
+struct CycleRatioEdge {
+  /// Source node index.
+  std::uint32_t from = 0;
+  /// Destination node index.
+  std::uint32_t to = 0;
+  /// Execution time of `from` (the numerator contribution of the edge).
+  std::int64_t weight = 0;
+  /// Initial tokens on the edge (the denominator contribution).
+  std::int64_t delay = 0;
+};
+
+/// Howard's policy iteration over an explicit edge list, with reusable
+/// policy state: successive solve() calls on perturbed versions of the
+/// same graph warm-start from the previous optimal policy (stored as
+/// preferred successor per node, so it survives edge re-collapsing),
+/// which typically converges in one or two sweeps. A default-constructed
+/// solver is cold; the first solve() behaves exactly like
+/// maxCycleRatioHoward().
+class CycleRatioSolver {
+ public:
+  /// Maximum cycle ratio sum(weight)/sum(delay) over the cycles of the
+  /// edge list. Parallel edges are permitted (only the minimum-delay one
+  /// can attain the maximum when weights agree, but the solver does not
+  /// require pre-collapsing).
+  /// @param nodeCount number of nodes; edge endpoints must be < nodeCount
+  /// @param edges the precedence edges
+  /// @return the maximum cycle ratio, or Deadlock/Acyclic verdicts
+  [[nodiscard]] CycleRatioResult solve(std::size_t nodeCount,
+                                      const std::vector<CycleRatioEdge>& edges);
+
+ private:
+  std::vector<std::uint32_t> preferredSuccessor_;  ///< warm-start hints
+};
+
 /// Maximum cycle ratio of a timed HSDF graph via Howard's policy
 /// iteration. Edge weight = execution time of the channel's source
 /// actor; edge delay = initial tokens.

@@ -375,15 +375,10 @@ bool mcrRepresentable(const sdf::TimedGraph& timed, const ResourceConstraints* r
     *reason = "auto-concurrency requires the state-space engine";
     return false;
   }
-  for (ActorId a = 0; a < timed.graph.actorCount(); ++a) {
-    const std::uint32_t limit = timed.concurrencyLimit(a);
-    if (limit > 1) {
-      // The HSDF expansion encodes limits 1 (sequence edges) and 0 (no
-      // constraint); finite limits above 1 have no exact encoding yet.
-      *reason = "finite self-concurrency limit > 1";
-      return false;
-    }
-  }
+  // Every finite self-concurrency limit (including limits > 1) is
+  // encoded exactly by the HSDF expansion as a virtual k-token
+  // self-edge; limit-0 actors are unconstrained. No limit forces the
+  // state-space engine.
   if (resources != nullptr) {
     std::vector<std::uint64_t> appearances(timed.graph.actorCount(), 0);
     for (std::size_t r = 0; r < resources->staticOrder.size(); ++r) {
@@ -473,6 +468,25 @@ ThroughputResult dispatch(const sdf::TimedGraph& timed, const ResourceConstraint
 }
 
 }  // namespace
+
+bool mcrFastPathApplicable(const sdf::TimedGraph& timed, const ResourceConstraints* resources,
+                           const ThroughputOptions& options, const char** reason) {
+  const char* local = nullptr;
+  const char** out = reason != nullptr ? reason : &local;
+  const auto qOpt = sdf::computeRepetitionVector(timed.graph);
+  if (!qOpt) {
+    *out = "inconsistent graph";
+    return false;
+  }
+  if (!mcrRepresentable(timed, resources, options, *qOpt, out)) {
+    return false;
+  }
+  if (hsdfSizeEstimate(timed, resources, *qOpt) > options.maxMcrHsdfSize) {
+    *out = "estimated HSDF expansion exceeds maxMcrHsdfSize";
+    return false;
+  }
+  return true;
+}
 
 const char* throughputEngineName(ThroughputEngine engine) {
   switch (engine) {

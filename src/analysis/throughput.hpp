@@ -68,8 +68,9 @@ enum class ThroughputEngine {
   StateSpace,
   /// Force the MCR fast path. computeThroughput() throws AnalysisError
   /// when the fast path cannot represent the requested semantics
-  /// (auto-concurrency, finite self-concurrency limits > 1, or static
-  /// orders that do not cover one full iteration).
+  /// (auto-concurrency, or static orders that do not cover one full
+  /// iteration). Finite self-concurrency limits — including limits
+  /// above 1 — are encoded exactly by the HSDF expansion.
   Mcr,
 };
 
@@ -102,6 +103,24 @@ struct ThroughputOptions {
   /// detected and end in Status::StepLimit.
   std::uint64_t maxStoredStates = 1u << 20;
 };
+
+/// Would Auto engine selection route this analysis to the MCR fast
+/// path? True when the HSDF encoding is exact for the requested
+/// semantics (no auto-concurrency; static orders, if any, cover exactly
+/// one iteration) and the estimated expansion size stays under
+/// `options.maxMcrHsdfSize`. IncrementalThroughput uses the same
+/// predicate, so its engine choice always matches a from-scratch
+/// computeThroughput() call.
+/// @param timed the graph to analyze
+/// @param resources optional binding and static orders (may be null)
+/// @param options engine selection and safety limits
+/// @param reason optional out-parameter; on false names the first
+///   violated precondition (static string, never null)
+/// @return true when Auto would pick the MCR engine
+[[nodiscard]] bool mcrFastPathApplicable(const sdf::TimedGraph& timed,
+                                         const ResourceConstraints* resources,
+                                         const ThroughputOptions& options,
+                                         const char** reason = nullptr);
 
 /// Outcome of a throughput analysis.
 struct ThroughputResult {

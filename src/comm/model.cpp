@@ -132,7 +132,8 @@ CommExpansion expandChannels(const sdf::TimedGraph& timed,
     // like the generated wrapper code that blocks on the FSL while
     // copying words; c1 releases one slot per injected word.
     link(ch.src, ch.prodRate, ids.s1, 1, ch.initialTokens, "srcq");
-    link(ids.s1, 1, ch.src, ch.prodRate, p.srcBufferTokens - ch.initialTokens, "alpha_src");
+    ids.alphaSrc =
+        link(ids.s1, 1, ch.src, ch.prodRate, p.srcBufferTokens - ch.initialTokens, "alpha_src");
     link(ids.c1, 1, ids.s1, n, txBuffer, "txbuf");
     link(ids.s1, 1, ids.s2, 1, 0, "ser");
     link(ids.s2, n, ids.s3, 1, 0, "frag");
@@ -151,7 +152,7 @@ CommExpansion expandChannels(const sdf::TimedGraph& timed,
     link(ids.d2, 1, ids.d1, 1, 0, "asm");
     link(ids.d1, n, ids.c1, 1, alphaN, "alpha_n");
     link(ids.d1, 1, ch.dst, ch.consRate, 0, "dstq");
-    link(ch.dst, ch.consRate, ids.d1, 1, p.dstBufferTokens, "alpha_dst");
+    ids.alphaDst = link(ch.dst, ch.consRate, ids.d1, 1, p.dstBufferTokens, "alpha_dst");
 
     out.expanded.push_back(ids);
   }

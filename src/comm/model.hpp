@@ -77,6 +77,11 @@ struct ExpandedChannel {
   sdf::ActorId d1 = sdf::kInvalidActor;
   sdf::ActorId d2 = sdf::kInvalidActor;
   sdf::ActorId d3 = sdf::kInvalidActor;
+  /// The alpha_src back-edge (s1 -> asrc) carrying the source-buffer
+  /// space tokens; its initial tokens are srcBufferTokens - initial.
+  sdf::ChannelId alphaSrc = sdf::kInvalidChannel;
+  /// The alpha_dst back-edge (adst -> d1) carrying dstBufferTokens.
+  sdf::ChannelId alphaDst = sdf::kInvalidChannel;
 };
 
 /// Result of expanding a set of channels.

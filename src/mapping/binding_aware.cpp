@@ -92,6 +92,30 @@ BindingAwareModel buildBindingAware(const sdf::ApplicationModel& app,
   out.graph = analysis::withCapacities(expansion.graph, capacities);
   out.expanded = std::move(expansion.expanded);
 
+  // Record where each application channel's capacity tokens live.
+  // Inter-tile channels: the alpha back-edges of the expansion. Local
+  // channels: the space back-edges, which withCapacities appends after
+  // the expansion's channels in channel order (only bounded, non-self
+  // channels get one).
+  out.capacityEdges.assign(g.channelCount(), {});
+  for (const comm::ExpandedChannel& e : out.expanded) {
+    out.capacityEdges[e.original].alphaSrc = e.alphaSrc;
+    out.capacityEdges[e.original].alphaDst = e.alphaDst;
+  }
+  {
+    auto spaceId = static_cast<ChannelId>(expansion.graph.graph.channelCount());
+    std::size_t newId = 0;
+    for (ChannelId c = 0; c < g.channelCount(); ++c) {
+      if (params.contains(c)) {
+        continue;
+      }
+      if (capacities[newId] != 0 && !g.channel(c).isSelfEdge()) {
+        out.capacityEdges[c].localSpace = spaceId++;
+      }
+      ++newId;
+    }
+  }
+
   // Resource constraints: application actors occupy their tile's PE in
   // static order; communication-model stages are NI/interconnect
   // hardware (or the CA) with dedicated resources.

@@ -22,11 +22,32 @@
 
 namespace mamps::mapping {
 
+/// Binding-aware channel ids that carry an application channel's buffer
+/// capacity as initial tokens. Exactly one family is set per channel:
+/// local channels have the space back-edge, inter-tile channels the
+/// alpha_src/alpha_dst pair of the communication model. These are the
+/// only channels of the model whose token counts change when the flow
+/// grows buffers, which is what makes incremental re-analysis possible.
+struct CapacityEdgeIds {
+  /// Local channels: the `<name>_space` back-edge; tokens = capacity -
+  /// initial tokens of the forward channel.
+  sdf::ChannelId localSpace = sdf::kInvalidChannel;
+  /// Inter-tile channels: the alpha_src back-edge; tokens =
+  /// srcBufferTokens - initial tokens.
+  sdf::ChannelId alphaSrc = sdf::kInvalidChannel;
+  /// Inter-tile channels: the alpha_dst back-edge; tokens =
+  /// dstBufferTokens.
+  sdf::ChannelId alphaDst = sdf::kInvalidChannel;
+};
+
 struct BindingAwareModel {
   sdf::TimedGraph graph;
   analysis::ResourceConstraints resources;
   /// One entry per inter-tile channel (communication model actor ids).
   std::vector<comm::ExpandedChannel> expanded;
+  /// One entry per *application* channel: where its capacity lives in
+  /// `graph` (all ids invalid for self-edges).
+  std::vector<CapacityEdgeIds> capacityEdges;
 };
 
 /// Build the binding-aware model. `actorExecTimes` are the per-firing

@@ -1,0 +1,115 @@
+#include "mapping/dse.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace mamps::mapping {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds(Clock::duration d) { return std::chrono::duration<double>(d).count(); }
+
+std::string makeLabel(const DesignPoint& point) {
+  if (!point.label.empty()) {
+    return point.label;
+  }
+  std::string label = std::to_string(point.platform.tileCount);
+  label += "t_";
+  label += platform::interconnectKindName(point.platform.interconnect);
+  return label;
+}
+
+/// Run one design point end to end. Everything this touches is either
+/// point-local or immutable shared state, so points are freely
+/// parallelizable.
+DesignPointResult explorePoint(const sdf::ApplicationModel& app, const AppAnalysisCache* cache,
+                               const DesignPoint& point) {
+  DesignPointResult result;
+  result.label = makeLabel(point);
+  const auto start = Clock::now();
+  const platform::Architecture arch = platform::generateFromTemplate(point.platform);
+  result.mapping = cache != nullptr ? mapApplication(*cache, arch, point.options)
+                                    : mapApplication(app, arch, point.options);
+  result.seconds = seconds(Clock::now() - start);
+  return result;
+}
+
+}  // namespace
+
+std::size_t DseResult::feasibleCount() const {
+  std::size_t n = 0;
+  for (const DesignPointResult& p : points) {
+    n += p.feasible() ? 1 : 0;
+  }
+  return n;
+}
+
+double DseResult::meanPointSeconds() const {
+  if (points.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const DesignPointResult& p : points) {
+    sum += p.seconds;
+  }
+  return sum / static_cast<double>(points.size());
+}
+
+DseResult exploreDesignSpace(const sdf::ApplicationModel& app,
+                             const std::vector<DesignPoint>& points, const DseOptions& options) {
+  const auto sweepStart = Clock::now();
+  std::optional<AppAnalysisCache> cache;
+  if (options.reusePreparation) {
+    cache = prepareApplication(app);
+  }
+  const AppAnalysisCache* sharedCache = cache ? &*cache : nullptr;
+
+  DseResult out;
+  out.points.resize(points.size());
+
+  // Deterministic by construction: worker i writes only out.points[i],
+  // and every point's computation depends only on immutable inputs, so
+  // the result is independent of scheduling and thread count.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+  const auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < points.size(); i = next.fetch_add(1)) {
+      try {
+        out.points[i] = explorePoint(app, sharedCache, points[i]);
+      } catch (...) {
+        const std::scoped_lock lock(errorMutex);
+        if (!firstError) {
+          firstError = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::size_t threads = options.threads != 0
+                            ? options.threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, points.size());
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back(worker);
+    }
+  }  // jthreads join here
+  if (firstError) {
+    std::rethrow_exception(firstError);
+  }
+
+  out.totalSeconds = seconds(Clock::now() - sweepStart);
+  return out;
+}
+
+}  // namespace mamps::mapping

@@ -1,0 +1,95 @@
+// Parallel, incremental design-space exploration (the Section 7 use
+// case): sweep a set of candidate platform instances, run the complete
+// mapping step on each, and return every point's guaranteed-throughput
+// verdict. Three mechanisms make sweeping hundreds of points fast:
+//
+//   1. *Incremental re-analysis* inside each point's buffer-growth loop
+//      (analysis::IncrementalThroughput — cached HSDF expansion,
+//      patched capacity tokens, warm-started Howard),
+//   2. *reuse across points* of the application-level precomputation
+//      (mapping::AppAnalysisCache — consistency, repetition vector,
+//      deadlock check, WCET tables), and
+//   3. a *parallel sweep* over a worker pool with no shared mutable
+//      state per point.
+//
+// Determinism contract: exploreDesignSpace returns results in input
+// order and every field of every result is identical for any thread
+// count, including 1 (pinned by tests/dse_test.cpp). Workers share only
+// immutable state (the application model and its cache); each design
+// point owns its architecture, mapping, and analysis context outright.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapping/flow.hpp"
+#include "platform/arch_template.hpp"
+
+namespace mamps::mapping {
+
+/// One candidate platform instance plus the mapping knobs to try on it.
+struct DesignPoint {
+  /// The architecture template to instantiate for this point.
+  platform::TemplateRequest platform{};
+  /// Mapping knobs (serialization mode, buffer policy, ...).
+  MappingOptions options{};
+  /// Display label; auto-generated ("<n>t_<interconnect>") when empty.
+  std::string label;
+};
+
+/// Outcome of one design point.
+struct DesignPointResult {
+  /// The (possibly auto-generated) label of the point.
+  std::string label;
+  /// The mapping and its throughput guarantee; nullopt when no feasible
+  /// binding exists or the application deadlocks.
+  std::optional<MappingResult> mapping;
+  /// Wall time spent mapping and analyzing this point, in seconds.
+  double seconds = 0.0;
+
+  /// True when the point produced a mapping.
+  /// @return mapping.has_value()
+  [[nodiscard]] bool feasible() const { return mapping.has_value(); }
+};
+
+/// Tuning knobs for exploreDesignSpace().
+struct DseOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned threads = 0;
+  /// Share one AppAnalysisCache across all points. Disabling re-prepares
+  /// the application per point; it exists for the from-scratch baseline
+  /// of bench/bench_dse.cpp and changes nothing about the results.
+  bool reusePreparation = true;
+};
+
+/// Result of a sweep.
+struct DseResult {
+  /// One entry per input point, in input order.
+  std::vector<DesignPointResult> points;
+  /// Wall time of the whole sweep, in seconds.
+  double totalSeconds = 0.0;
+
+  /// Number of points that produced a mapping.
+  /// @return the count of feasible points
+  [[nodiscard]] std::size_t feasibleCount() const;
+  /// Mean per-point latency: the average of the points' individual
+  /// wall times (unlike totalSeconds / size, this is independent of
+  /// how many workers ran the sweep).
+  /// @return the mean of DesignPointResult::seconds, or 0 for empty
+  ///   sweeps
+  [[nodiscard]] double meanPointSeconds() const;
+};
+
+/// Run the complete mapping step on every design point. See the header
+/// comment for the performance mechanisms and the determinism contract.
+/// @param app the application to map (must outlive the call)
+/// @param points the platform instances and mapping knobs to sweep
+/// @param options worker-pool and caching knobs
+/// @return per-point results in input order plus sweep-level timing
+[[nodiscard]] DseResult exploreDesignSpace(const sdf::ApplicationModel& app,
+                                           const std::vector<DesignPoint>& points,
+                                           const DseOptions& options = {});
+
+}  // namespace mamps::mapping

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/buffer.hpp"
+#include "analysis/incremental.hpp"
 #include "mapping/schedule.hpp"
 #include "platform/noc_topology.hpp"
 #include "sdf/repetition_vector.hpp"
@@ -96,18 +97,75 @@ void growBuffers(const sdf::Graph& g, Mapping& mapping) {
   }
 }
 
+/// Push the mapping's current buffer sizes into the binding-aware model
+/// (and, when given, the incremental analysis context) by patching the
+/// capacity back-edges' initial tokens — the only part of the model that
+/// depends on buffer sizes, so this replaces a full rebuild.
+void patchCapacityTokens(const sdf::Graph& g, const Mapping& mapping, BindingAwareModel& model,
+                         analysis::IncrementalThroughput* context) {
+  const auto apply = [&](ChannelId id, std::uint64_t tokens) {
+    if (id == sdf::kInvalidChannel) {
+      return;
+    }
+    model.graph.graph.setInitialTokens(id, tokens);
+    if (context != nullptr) {
+      context->setInitialTokens(id, tokens);
+    }
+  };
+  for (ChannelId c = 0; c < g.channelCount(); ++c) {
+    const sdf::Channel& channel = g.channel(c);
+    if (channel.isSelfEdge()) {
+      continue;
+    }
+    const CapacityEdgeIds& ids = model.capacityEdges[c];
+    if (mapping.channelRoutes[c].interTile) {
+      apply(ids.alphaSrc, mapping.srcBufferTokens[c] - channel.initialTokens);
+      apply(ids.alphaDst, mapping.dstBufferTokens[c]);
+    } else {
+      apply(ids.localSpace, mapping.localCapacityTokens[c] - channel.initialTokens);
+    }
+  }
+}
+
 }  // namespace
+
+AppAnalysisCache prepareApplication(const sdf::ApplicationModel& app) {
+  app.validate();
+  AppAnalysisCache cache;
+  cache.app = &app;
+  const auto q = sdf::computeRepetitionVector(app.graph());
+  cache.consistent = q.has_value();
+  if (!cache.consistent) {
+    return cache;
+  }
+  cache.repetition = *q;
+  cache.deadlockFree = sdf::isDeadlockFree(app.graph());
+  for (ActorId a = 0; a < app.graph().actorCount(); ++a) {
+    for (const sdf::ActorImplementation& impl : app.implementations(a)) {
+      auto& wcet = cache.wcetByType
+                       .try_emplace(impl.processorType,
+                                    std::vector<std::uint64_t>(app.graph().actorCount(),
+                                                               AppAnalysisCache::kNoWcet))
+                       .first->second;
+      wcet[a] = impl.wcetCycles;
+    }
+  }
+  return cache;
+}
 
 std::optional<MappingResult> mapApplication(const sdf::ApplicationModel& app,
                                             const platform::Architecture& arch,
                                             const MappingOptions& options) {
-  app.validate();
+  return mapApplication(prepareApplication(app), arch, options);
+}
+
+std::optional<MappingResult> mapApplication(const AppAnalysisCache& cache,
+                                            const platform::Architecture& arch,
+                                            const MappingOptions& options) {
+  const sdf::ApplicationModel& app = *cache.app;
   arch.validate();
   const sdf::Graph& g = app.graph();
-  if (!sdf::isConsistent(g)) {
-    return std::nullopt;
-  }
-  if (!sdf::isDeadlockFree(g)) {
+  if (!cache.consistent || !cache.deadlockFree) {
     return std::nullopt;
   }
 
@@ -149,12 +207,17 @@ std::optional<MappingResult> mapApplication(const sdf::ApplicationModel& app,
     }
   }
 
-  // WCETs per actor on its bound tile.
+  // WCETs per actor on its bound tile (from the per-application cache;
+  // bindActors only places actors on tiles they have an implementation
+  // for, so the lookups always hit).
   std::vector<std::uint64_t> wcet(g.actorCount());
   for (ActorId a = 0; a < g.actorCount(); ++a) {
-    const auto* impl =
-        app.implementationFor(a, arch.tile(binding->actorToTile[a]).processorType);
-    wcet[a] = impl->wcetCycles;
+    const auto it = cache.wcetByType.find(arch.tile(binding->actorToTile[a]).processorType);
+    if (it == cache.wcetByType.end() || it->second[a] == AppAnalysisCache::kNoWcet) {
+      throw ModelError("mapApplication: actor " + g.actor(a).name +
+                       " bound to a tile without an implementation");
+    }
+    wcet[a] = it->second[a];
   }
 
   // Buffer distribution: start from scaled lower bounds, grow until the
@@ -162,17 +225,40 @@ std::optional<MappingResult> mapApplication(const sdf::ApplicationModel& app,
   assignBuffers(g, result.mapping.channelRoutes, std::max<std::uint32_t>(1, options.initialBufferScale),
                 result.mapping);
   const Rational constraint = app.throughputConstraint();
-  for (std::uint32_t round = 0;; ++round) {
+  const auto constraintMet = [&](const analysis::ThroughputResult& t) {
+    return t.ok() && (constraint.isZero() || t.iterationsPerCycle >= constraint);
+  };
+  if (options.incrementalAnalysis) {
+    // Build the binding-aware model once; growth rounds only change
+    // capacity back-edge tokens, which are patched into the model and
+    // the incremental context instead of rebuilding and re-expanding.
     result.model = buildBindingAware(app, arch, result.mapping, wcet);
-    result.throughput = analysis::computeThroughput(result.model.graph, result.model.resources);
-    const bool met =
-        result.throughput.ok() && (constraint.isZero() ||
-                                   result.throughput.iterationsPerCycle >= constraint);
-    if (met || round >= options.bufferGrowthRounds) {
-      result.meetsConstraint = met;
-      break;
+    analysis::IncrementalThroughput context(result.model.graph, &result.model.resources);
+    result.throughput = context.compute();
+    for (std::uint32_t round = 0;; ++round) {
+      const bool met = constraintMet(result.throughput);
+      if (met || round >= options.bufferGrowthRounds) {
+        result.meetsConstraint = met;
+        break;
+      }
+      growBuffers(g, result.mapping);
+      patchCapacityTokens(g, result.mapping, result.model, &context);
+      result.throughput = context.compute();
     }
-    growBuffers(g, result.mapping);
+  } else {
+    // From-scratch baseline: rebuild the model and re-run the unified
+    // analysis every round (bit-identical to the incremental path).
+    for (std::uint32_t round = 0;; ++round) {
+      result.model = buildBindingAware(app, arch, result.mapping, wcet);
+      result.throughput =
+          analysis::computeThroughput(result.model.graph, result.model.resources);
+      const bool met = constraintMet(result.throughput);
+      if (met || round >= options.bufferGrowthRounds) {
+        result.meetsConstraint = met;
+        break;
+      }
+      growBuffers(g, result.mapping);
+    }
   }
   return result;
 }

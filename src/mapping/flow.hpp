@@ -3,13 +3,38 @@
 // guaranteed-throughput analysis of the resulting binding-aware graph.
 #pragma once
 
+#include <map>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "mapping/binding.hpp"
 #include "mapping/binding_aware.hpp"
 #include "mapping/mapping.hpp"
 
 namespace mamps::mapping {
+
+/// Architecture-independent precomputation of one application, shared
+/// read-only across the design points of a sweep so that consistency,
+/// deadlock, repetition-vector, and WCET lookups run once per
+/// application instead of once per design point. Holds a pointer to the
+/// application model: the model must outlive the cache (and must not be
+/// mutated while the cache is in use — all members are immutable after
+/// construction, making the cache safe to share across sweep workers).
+struct AppAnalysisCache {
+  const sdf::ApplicationModel* app = nullptr;
+  bool consistent = false;    ///< balance equations solvable
+  bool deadlockFree = false;  ///< one iteration completes (unbounded buffers)
+  std::vector<std::uint64_t> repetition;  ///< q (empty when inconsistent)
+  /// processor type -> per-actor WCET in cycles; kNoWcet marks actors
+  /// without an implementation for that type.
+  std::map<std::string, std::vector<std::uint64_t>, std::less<>> wcetByType;
+  static constexpr std::uint64_t kNoWcet = ~std::uint64_t{0};
+};
+
+/// Validate `app` once and precompute everything mapApplication needs
+/// that does not depend on the architecture.
+[[nodiscard]] AppAnalysisCache prepareApplication(const sdf::ApplicationModel& app);
 
 struct MappingResult {
   Mapping mapping;
@@ -24,6 +49,13 @@ struct MappingResult {
 /// mapping found (meetsConstraint reports whether the application's
 /// throughput constraint is satisfied).
 [[nodiscard]] std::optional<MappingResult> mapApplication(const sdf::ApplicationModel& app,
+                                                          const platform::Architecture& arch,
+                                                          const MappingOptions& options = {});
+
+/// Cached variant for sweeps: identical results to the overload above
+/// (which simply prepares a fresh cache), but the application-level
+/// precomputation is taken from `cache`.
+[[nodiscard]] std::optional<MappingResult> mapApplication(const AppAnalysisCache& cache,
                                                           const platform::Architecture& arch,
                                                           const MappingOptions& options = {});
 

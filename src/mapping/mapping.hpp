@@ -74,6 +74,13 @@ struct MappingOptions {
   /// paper's flow computes buffer distributions that sustain the
   /// throughput, which small minimal buffers typically do not.
   std::uint32_t initialBufferScale = 2;
+  /// Re-analyze buffer-growth rounds through an incremental throughput
+  /// context (cached HSDF expansion, patched capacity tokens,
+  /// warm-started Howard) instead of rebuilding the binding-aware model
+  /// from scratch each round. Results are bit-identical either way
+  /// (pinned by tests/dse_test.cpp); disabling exists for baselines and
+  /// cross-checks.
+  bool incrementalAnalysis = true;
 };
 
 /// Intermediate per-tile accounting used by binding and generation.

@@ -48,36 +48,16 @@ HsdfExpansion toHsdf(const TimedGraph& timed) {
     const std::uint64_t qDst = q[c.dst];
     const std::uint64_t qSrc = q[c.src];
 
-    for (std::uint64_t j = 0; j < qDst; ++j) {       // consumer firing in iteration 0
-      for (std::uint64_t k = 0; k < cons; ++k) {     // token index within the firing
-        const std::uint64_t n = j * cons + k;        // global consumption position
-        std::uint64_t srcCopy = 0;
-        std::uint64_t delay = 0;
-        if (n < d) {
-          // Initial token: produced "before time"; attribute it to the
-          // source copy that would have produced it in iteration -m.
-          // Position from the end of the initial tokens:
-          const std::uint64_t fromEnd = d - 1 - n;           // 0 = newest initial token
-          const std::uint64_t prodIdxBack = fromEnd / prod;  // firings back from iteration 0
-          const std::uint64_t iterBack = prodIdxBack / qSrc + 1;
-          const std::uint64_t copyBack = prodIdxBack % qSrc;
-          srcCopy = (qSrc - 1) - copyBack;
-          delay = iterBack;
-        } else {
-          const std::uint64_t p = (n - d) / prod;  // producing firing (iteration 0 based)
-          srcCopy = p % qSrc;
-          delay = 0;
-          // If the producing firing lands in a later iteration than 0 it
-          // cannot — p < qSrc * prod tokens needed... p ranges within one
-          // iteration because n-d < qDst*cons == qSrc*prod.
-          (void)0;
-        }
+    for (std::uint64_t j = 0; j < qDst; ++j) {    // consumer firing in iteration 0
+      for (std::uint64_t k = 0; k < cons; ++k) {  // token index within the firing
+        const std::uint64_t n = j * cons + k;     // global consumption position
+        const TokenDependency dep = hsdfTokenDependency(n, d, prod, qSrc);
         ChannelSpec spec;
-        spec.src = copies[c.src][srcCopy];
+        spec.src = copies[c.src][dep.srcCopy];
         spec.dst = copies[c.dst][j];
         spec.prodRate = 1;
         spec.consRate = 1;
-        spec.initialTokens = delay;
+        spec.initialTokens = dep.delay;
         spec.tokenSizeBytes = c.tokenSizeBytes;
         spec.name = c.name + "_n" + std::to_string(n);
         out.hsdf.graph.connect(spec);
@@ -85,42 +65,31 @@ HsdfExpansion toHsdf(const TimedGraph& timed) {
     }
   }
 
-  // Sequence constraint: firings of the same actor within an iteration
-  // execute in order (firing i+1 cannot start before firing i of the
-  // same iteration when auto-concurrency is disabled). The classical
-  // conversion adds a cycle through the copies with one initial token on
-  // the wrap-around edge. We add it only for actors with q > 1; actors
-  // whose self-concurrency is already limited by a self-edge keep that
-  // limit through the channel expansion above.
+  // Self-concurrency constraint: an actor with finite limit k may have
+  // at most k firings in flight, which is exactly the semantics of a
+  // rate-1 self-edge carrying k initial tokens. Expanding that virtual
+  // self-edge with the token rule above links firing copy j to the copy
+  // that performs firing j - k (k firings back, possibly in an earlier
+  // iteration — the edge then carries the iteration distance as delay).
+  // The classical limit-1 conversion — a chain through the copies with
+  // one wrap-around token — is the k = 1 instance. Limit-0 actors
+  // (unbounded pipelining, e.g. the latency stage of the communication
+  // model) get no constraint; their in-flight work is bounded by
+  // explicit back-edges instead.
   for (ActorId a = 0; a < g.actorCount(); ++a) {
-    if (timed.concurrencyLimit(a) != 1) {
-      // Actors with relaxed self-concurrency (e.g. the pipelined latency
-      // stage of the communication model) get no sequence constraint;
-      // their in-flight work is bounded by explicit back-edges instead.
+    const std::uint64_t limit = timed.concurrencyLimit(a);
+    if (limit == 0) {
       continue;
     }
-    if (q[a] == 1) {
-      // Degenerate cycle: a self-edge with one token forbids a firing of
-      // iteration m+1 from overlapping the firing of iteration m.
+    for (std::uint64_t j = 0; j < q[a]; ++j) {
+      const TokenDependency dep = hsdfTokenDependency(j, limit, 1, q[a]);
       ChannelSpec spec;
-      spec.src = copies[a][0];
-      spec.dst = copies[a][0];
+      spec.src = copies[a][dep.srcCopy];
+      spec.dst = copies[a][j];
       spec.prodRate = 1;
       spec.consRate = 1;
-      spec.initialTokens = 1;
-      spec.name = g.actor(a).name + "_seq0";
-      out.hsdf.graph.connect(spec);
-      continue;
-    }
-    for (std::uint64_t i = 0; i < q[a]; ++i) {
-      const std::uint64_t nextIdx = (i + 1) % q[a];
-      ChannelSpec spec;
-      spec.src = copies[a][i];
-      spec.dst = copies[a][nextIdx];
-      spec.prodRate = 1;
-      spec.consRate = 1;
-      spec.initialTokens = (nextIdx == 0) ? 1 : 0;
-      spec.name = g.actor(a).name + "_seq" + std::to_string(i);
+      spec.initialTokens = dep.delay;
+      spec.name = g.actor(a).name + "_seq" + std::to_string(j);
       out.hsdf.graph.connect(spec);
     }
   }

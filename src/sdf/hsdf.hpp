@@ -18,6 +18,39 @@
 
 namespace mamps::sdf {
 
+/// One token-level dependency of the standard SDF-to-HSDF expansion
+/// (see hsdfTokenDependency).
+struct TokenDependency {
+  /// Index of the source firing copy that produced the token.
+  std::uint64_t srcCopy = 0;
+  /// Iteration distance to the producing firing (the HSDF edge delay).
+  std::uint64_t delay = 0;
+};
+
+/// The token rule of the standard expansion (Sriram & Bhattacharyya),
+/// shared by sdf::toHsdf and the incremental analysis context so the
+/// two encodings cannot drift apart: the token at consumption position
+/// `n` of a channel with `d` initial tokens and production rate `prod`
+/// was produced by firing floor((n - d) / prod); non-negative indices
+/// land in the current iteration (copy index, delay 0), negative ones
+/// are initial tokens attributed to copies of earlier iterations (the
+/// iteration distance becomes the delay).
+/// @param n global consumption position within one iteration
+/// @param d initial tokens on the channel
+/// @param prod production rate (> 0)
+/// @param qSrc repetition count of the producing actor (> 0)
+/// @return the producing firing copy and the iteration distance
+[[nodiscard]] constexpr TokenDependency hsdfTokenDependency(std::uint64_t n, std::uint64_t d,
+                                                           std::uint64_t prod,
+                                                           std::uint64_t qSrc) {
+  if (n < d) {
+    const std::uint64_t fromEnd = d - 1 - n;           // 0 = newest initial token
+    const std::uint64_t prodIdxBack = fromEnd / prod;  // firings back from iteration 0
+    return {(qSrc - 1) - prodIdxBack % qSrc, prodIdxBack / qSrc + 1};
+  }
+  return {(n - d) / prod % qSrc, 0};
+}
+
 /// Result of expanding an SDF graph into its homogeneous equivalent.
 struct HsdfExpansion {
   /// The expanded graph; all rates are 1 and execution times are copied
@@ -31,10 +64,13 @@ struct HsdfExpansion {
 
 /// Expand `timed` into an equivalent HSDF graph. The conversion
 /// preserves the self-timed throughput of every actor: channels become
-/// token-level dependencies between firing copies, and actors with a
-/// self-concurrency limit of 1 get sequence edges between consecutive
-/// copies (with one wrap-around token), so analyzing the expansion with
-/// maximum-cycle-ratio techniques reproduces the state-space result.
+/// token-level dependencies between firing copies, and an actor with a
+/// finite self-concurrency limit k gets the expansion of a virtual
+/// rate-1 self-edge carrying k tokens (firing copy j depends on the
+/// completion of firing j - k; for k = 1 this is the classical chain
+/// through the copies with one wrap-around token), so analyzing the
+/// expansion with maximum-cycle-ratio techniques reproduces the
+/// state-space result for any limit, including finite limits > 1.
 /// @param timed the SDF graph with one execution time per actor
 /// @return the HSDF graph plus the copy-to-original mapping
 /// @throws AnalysisError when the graph is inconsistent

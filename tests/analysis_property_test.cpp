@@ -12,6 +12,7 @@
 #include <string>
 
 #include "analysis/buffer.hpp"
+#include "analysis/incremental.hpp"
 #include "analysis/mcm.hpp"
 #include "analysis/throughput.hpp"
 #include "sdf/hsdf.hpp"
@@ -180,6 +181,130 @@ TEST_P(RandomGraphProperty, ResourceConstrainedEnginesAgree) {
   const auto viaMcr = computeThroughput(bounded, resources);
   ASSERT_EQ(viaMcr.engine, ThroughputEngine::Mcr)
       << "full-iteration schedules must stay on the fast path";
+  ASSERT_EQ(viaStateSpace.status, viaMcr.status) << "seed " << GetParam();
+  if (viaStateSpace.ok()) {
+    EXPECT_EQ(viaStateSpace.iterationsPerCycle, viaMcr.iterationsPerCycle)
+        << "seed " << GetParam();
+  }
+}
+
+TEST_P(RandomGraphProperty, IncrementalMatchesFromScratchAcrossBufferGrowth) {
+  // The DSE engine's core invariant: patching capacity back-edge token
+  // counts in an IncrementalThroughput context yields the *exact* same
+  // rational (and verdict, and engine) as a from-scratch
+  // computeThroughput of the patched graph, across a random sequence of
+  // buffer-growth steps.
+  Rng rng = makeRng(10000);
+  test::RandomGraphOptions opt;
+  opt.maxActors = 5;
+  opt.maxQ = 3;
+  const Graph g = test::randomConsistentGraph(rng, opt);
+  const auto capacities = minimalDeadlockFreeCapacities(g);
+  ASSERT_TRUE(capacities.has_value());
+  TimedGraph bounded =
+      withCapacities(TimedGraph{g, test::randomExecTimes(rng, g)}, *capacities);
+
+  IncrementalThroughput incremental(bounded);
+  for (int round = 0; round < 6; ++round) {
+    const auto fresh = computeThroughput(bounded);
+    const auto patched = incremental.compute();
+    ASSERT_EQ(patched.engine, fresh.engine) << "round " << round;
+    ASSERT_EQ(patched.status, fresh.status) << "round " << round;
+    EXPECT_EQ(patched.iterationsPerCycle, fresh.iterationsPerCycle) << "round " << round;
+    EXPECT_EQ(patched.hsdfActors, fresh.hsdfActors) << "round " << round;
+    // Grow a random subset of the capacity back-edges (the channels
+    // appended after the forward channels) in both representations.
+    for (sdf::ChannelId c = static_cast<sdf::ChannelId>(g.channelCount());
+         c < bounded.graph.channelCount(); ++c) {
+      if (!rng.chance(0.5)) {
+        continue;
+      }
+      const std::uint64_t tokens =
+          bounded.graph.channel(c).initialTokens + rng.range(1, 4);
+      bounded.graph.setInitialTokens(c, tokens);
+      incremental.setInitialTokens(c, tokens);
+    }
+  }
+}
+
+TEST_P(RandomGraphProperty, IncrementalMatchesFromScratchUnderSchedules) {
+  // Same invariant on resource-constrained graphs: the cached
+  // static-order chains plus warm-started Howard must stay exact while
+  // capacities grow.
+  Rng rng = makeRng(11000);
+  test::RandomGraphOptions opt;
+  opt.maxActors = 4;
+  opt.maxQ = 3;
+  const Graph g = test::randomConsistentGraph(rng, opt);
+  const auto capacities = minimalDeadlockFreeCapacities(g);
+  ASSERT_TRUE(capacities.has_value());
+  TimedGraph bounded =
+      withCapacities(TimedGraph{g, test::randomExecTimes(rng, g)}, *capacities);
+  const auto q = *sdf::computeRepetitionVector(bounded.graph);
+
+  // Bind every original actor to one shared resource with a randomized
+  // full-iteration order (appearances of one actor are interchangeable).
+  ResourceConstraints resources;
+  resources.staticOrder.resize(1);
+  resources.actorResource.assign(bounded.graph.actorCount(), ResourceConstraints::kUnbound);
+  std::vector<sdf::ActorId> pending;
+  for (sdf::ActorId a = 0; a < g.actorCount(); ++a) {
+    resources.actorResource[a] = 0;
+    for (std::uint64_t i = 0; i < q[a]; ++i) {
+      pending.push_back(a);
+    }
+  }
+  while (!pending.empty()) {
+    const std::size_t pick = rng.range(0, pending.size() - 1);
+    resources.staticOrder[0].push_back(pending[pick]);
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+
+  IncrementalThroughput incremental(bounded, &resources);
+  EXPECT_TRUE(incremental.onFastPath());
+  for (int round = 0; round < 5; ++round) {
+    const auto fresh = computeThroughput(bounded, resources);
+    const auto patched = incremental.compute();
+    ASSERT_EQ(patched.engine, fresh.engine) << "round " << round;
+    ASSERT_EQ(patched.status, fresh.status) << "round " << round;
+    EXPECT_EQ(patched.iterationsPerCycle, fresh.iterationsPerCycle) << "round " << round;
+    for (sdf::ChannelId c = static_cast<sdf::ChannelId>(g.channelCount());
+         c < bounded.graph.channelCount(); ++c) {
+      if (!rng.chance(0.4)) {
+        continue;
+      }
+      const std::uint64_t tokens =
+          bounded.graph.channel(c).initialTokens + rng.range(1, 3);
+      bounded.graph.setInitialTokens(c, tokens);
+      incremental.setInitialTokens(c, tokens);
+    }
+  }
+}
+
+TEST_P(RandomGraphProperty, ConcurrencyLimitedEnginesAgree) {
+  // Finite self-concurrency limits > 1 took the state-space engine
+  // before the virtual-self-edge encoding landed in toHsdf; pin the
+  // engines against each other under random limits.
+  Rng rng = makeRng(12000);
+  test::RandomGraphOptions opt;
+  opt.maxActors = 4;
+  opt.maxQ = 3;
+  const Graph g = test::randomConsistentGraph(rng, opt);
+  const auto capacities = minimalDeadlockFreeCapacities(g);
+  ASSERT_TRUE(capacities.has_value());
+  TimedGraph bounded =
+      withCapacities(TimedGraph{g, test::randomExecTimes(rng, g)}, *capacities);
+  bounded.maxConcurrent.resize(bounded.graph.actorCount());
+  for (auto& limit : bounded.maxConcurrent) {
+    limit = static_cast<std::uint32_t>(rng.range(0, 3));  // 0 = unlimited
+  }
+
+  ThroughputOptions stateSpace;
+  stateSpace.engine = ThroughputEngine::StateSpace;
+  const auto viaStateSpace = computeThroughput(bounded, stateSpace);
+  const auto viaMcr = computeThroughput(bounded);
+  ASSERT_EQ(viaMcr.engine, ThroughputEngine::Mcr)
+      << "finite limits must stay on the fast path";
   ASSERT_EQ(viaStateSpace.status, viaMcr.status) << "seed " << GetParam();
   if (viaStateSpace.ok()) {
     EXPECT_EQ(viaStateSpace.iterationsPerCycle, viaMcr.iterationsPerCycle)

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/buffer.hpp"
+#include "analysis/incremental.hpp"
 #include "analysis/mcm.hpp"
 #include "analysis/throughput.hpp"
 #include "sdf/hsdf.hpp"
@@ -612,6 +613,115 @@ TEST(BufferTest, ThroughputIsMonotoneInCapacity) {
     ASSERT_TRUE(result.ok());
     EXPECT_GE(result.iterationsPerCycle, previous);
     previous = result.iterationsPerCycle;
+  }
+}
+
+// ------------------------------------------------------------- Incremental
+
+TEST(IncrementalTest, PatchedTokensMatchFromScratch) {
+  // Ring a -> b -> a; the back-edge acts as the capacity. Growing it
+  // through the context must track a from-scratch analysis exactly.
+  Graph g;
+  const auto a = g.addActor("a");
+  const auto b = g.addActor("b");
+  g.connect(a, 1, b, 1, 0, "fwd");
+  const auto back = g.connect(b, 1, a, 1, 1, "back");
+  TimedGraph timed{std::move(g), {3, 7}};
+
+  IncrementalThroughput incremental(timed);
+  EXPECT_TRUE(incremental.onFastPath());
+  for (std::uint64_t tokens = 1; tokens <= 4; ++tokens) {
+    timed.graph.setInitialTokens(back, tokens);
+    incremental.setInitialTokens(back, tokens);
+    const auto fresh = computeThroughput(timed);
+    const auto patched = incremental.compute();
+    ASSERT_EQ(patched.status, fresh.status) << "tokens " << tokens;
+    EXPECT_EQ(patched.iterationsPerCycle, fresh.iterationsPerCycle) << "tokens " << tokens;
+    EXPECT_EQ(patched.engine, ThroughputEngine::Mcr);
+  }
+}
+
+TEST(IncrementalTest, DetectsDeadlockAfterTokenRemoval) {
+  Graph g;
+  const auto a = g.addActor("a");
+  const auto b = g.addActor("b");
+  g.connect(a, 1, b, 1, 0, "fwd");
+  const auto back = g.connect(b, 1, a, 1, 1, "back");
+  const TimedGraph timed{std::move(g), {3, 7}};
+  IncrementalThroughput incremental(timed);
+  ASSERT_TRUE(incremental.compute().ok());
+  incremental.setInitialTokens(back, 0);
+  EXPECT_EQ(incremental.compute().status, ThroughputResult::Status::Deadlock);
+  incremental.setInitialTokens(back, 2);
+  EXPECT_TRUE(incremental.compute().ok());
+}
+
+TEST(IncrementalTest, AutoConcurrencyFallsBackToStateSpace) {
+  Graph g;
+  const auto a = g.addActor("a");
+  g.connect(a, 1, a, 1, 3, "state");
+  const TimedGraph timed{std::move(g), {5}};
+  ThroughputOptions options;
+  options.autoConcurrency = true;
+  IncrementalThroughput incremental(timed, nullptr, options);
+  EXPECT_FALSE(incremental.onFastPath());
+  const auto viaContext = incremental.compute();
+  const auto fresh = computeThroughput(timed, options);
+  EXPECT_EQ(viaContext.engine, ThroughputEngine::StateSpace);
+  ASSERT_EQ(viaContext.status, fresh.status);
+  EXPECT_EQ(viaContext.iterationsPerCycle, fresh.iterationsPerCycle);
+}
+
+TEST(IncrementalTest, OutOfRangeChannelThrows) {
+  Graph g;
+  const auto a = g.addActor("a");
+  g.connect(a, 1, a, 1, 1);
+  IncrementalThroughput incremental(TimedGraph{std::move(g), {1}});
+  EXPECT_THROW((void)incremental.setInitialTokens(99, 1), AnalysisError);
+}
+
+// --------------------------------------------------- Concurrency limits > 1
+
+TEST(ThroughputTest, FiniteConcurrencyLimitStaysOnFastPathAndMatches) {
+  // One actor, limit 2, self-timed: two overlapping firings of 10
+  // cycles each -> 2 iterations per 10 cycles.
+  Graph g;
+  g.addActor("a");
+  TimedGraph timed{std::move(g), {10}};
+  timed.maxConcurrent = {2};
+  const char* reason = nullptr;
+  EXPECT_TRUE(mcrFastPathApplicable(timed, nullptr, {}, &reason)) << reason;
+  const auto viaMcr = computeThroughput(timed);
+  EXPECT_EQ(viaMcr.engine, ThroughputEngine::Mcr);
+  ASSERT_TRUE(viaMcr.ok());
+  EXPECT_EQ(viaMcr.iterationsPerCycle, Rational(2, 10));
+
+  ThroughputOptions stateSpace;
+  stateSpace.engine = ThroughputEngine::StateSpace;
+  const auto reference = computeThroughput(timed, stateSpace);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(reference.iterationsPerCycle, viaMcr.iterationsPerCycle);
+}
+
+TEST(ThroughputTest, ConcurrencyLimitBoundsPipelineDepth) {
+  // Producer (limit 3) feeding a consumer through a capacitated channel:
+  // the limit gates how many productions can be in flight.
+  for (const std::uint32_t limit : {1u, 2u, 3u}) {
+    Graph g;
+    const auto p = g.addActor("p");
+    const auto c = g.addActor("c");
+    g.connect(p, 1, c, 1, 0, "fwd");
+    g.connect(c, 1, p, 1, 4, "space");
+    TimedGraph timed{std::move(g), {4, 12}};
+    timed.maxConcurrent = {limit, 1};
+    const auto viaMcr = computeThroughput(timed);
+    ASSERT_TRUE(viaMcr.ok());
+    EXPECT_EQ(viaMcr.engine, ThroughputEngine::Mcr);
+    ThroughputOptions stateSpace;
+    stateSpace.engine = ThroughputEngine::StateSpace;
+    const auto reference = computeThroughput(timed, stateSpace);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(viaMcr.iterationsPerCycle, reference.iterationsPerCycle) << "limit " << limit;
   }
 }
 
