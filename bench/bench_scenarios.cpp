@@ -1,0 +1,71 @@
+// Cross-application scenario sweep: every built-in suite scenario is
+// swept through the DSE engine over its recommended platforms x both
+// serialization modes, exercising the MCR fast path, the incremental
+// re-analysis, and the parallel sweep on graphs with genuinely
+// different shapes (cyclic, deep multi-rate, fork-join, ring). Prints
+// one JSON object to stdout; the trajectory at ../BENCH_scenarios.json
+// records these numbers across PRs. Exits non-zero when any scenario
+// has an infeasible recommended platform, a feasible point without a
+// throughput verdict, or a point that left the MCR fast path.
+#include <cstdio>
+#include <string>
+
+#include "apps/suite/suite.hpp"
+#include "mapping/dse.hpp"
+
+using namespace mamps;
+
+int main() {
+  bool healthy = true;
+  std::string rows;
+  double totalSeconds = 0.0;
+  std::size_t totalPoints = 0;
+
+  for (const suite::Scenario& s : suite::builtinScenarios()) {
+    const auto points = suite::scenarioDesignPoints(s);
+    const mapping::DseResult sweep = mapping::exploreDesignSpace(s.model, points, {});
+    totalSeconds += sweep.totalSeconds;
+    totalPoints += sweep.points.size();
+
+    std::size_t met = 0;
+    Rational best(0);
+    std::string bestLabel;
+    for (const mapping::DesignPointResult& point : sweep.points) {
+      if (!point.feasible()) {
+        healthy = false;  // every recommended platform must map
+        continue;
+      }
+      const auto& throughput = point.mapping->throughput;
+      if (!throughput.ok() || throughput.engine != analysis::ThroughputEngine::Mcr) {
+        healthy = false;
+        continue;
+      }
+      met += point.mapping->meetsConstraint ? 1 : 0;
+      if (throughput.iterationsPerCycle > best) {
+        best = throughput.iterationsPerCycle;
+        bestLabel = point.label;
+      }
+    }
+
+    char row[512];
+    std::snprintf(row, sizeof row,
+                  "    {\"name\": \"%s\", \"points\": %zu, \"feasible\": %zu, "
+                  "\"meets_constraint\": %zu, \"best\": \"%lld/%lld\", "
+                  "\"best_point\": \"%s\", \"mean_point_ms\": %.2f}",
+                  s.name.c_str(), sweep.points.size(), sweep.feasibleCount(), met,
+                  static_cast<long long>(best.num()), static_cast<long long>(best.den()),
+                  bestLabel.c_str(), sweep.meanPointSeconds() * 1e3);
+    rows += rows.empty() ? "" : ",\n";
+    rows += row;
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"bench_scenarios\",\n");
+  std::printf("  \"workload\": \"suite scenarios x recommended platforms x {PE, CA}\",\n");
+  std::printf("  \"total_points\": %zu,\n", totalPoints);
+  std::printf("  \"total_seconds\": %.3f,\n", totalSeconds);
+  std::printf("  \"scenarios\": [\n%s\n  ],\n", rows.c_str());
+  std::printf("  \"healthy\": %s\n", healthy ? "true" : "false");
+  std::printf("}\n");
+  return healthy ? 0 : 1;
+}

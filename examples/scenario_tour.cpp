@@ -1,0 +1,61 @@
+// A tour of the multi-application scenario suite: every built-in
+// application is pushed through the complete flow (bind, schedule,
+// grow buffers, guaranteed-throughput analysis) on each of its
+// recommended platform templates, then swept through the DSE engine.
+// Run with a scenario name (e.g. `scenario_tour cd2dat`) to tour just
+// that scenario.
+#include <cstdio>
+
+#include "apps/suite/suite.hpp"
+#include "mapping/dse.hpp"
+#include "platform/arch_template.hpp"
+#include "sdf/repetition_vector.hpp"
+
+using namespace mamps;
+
+int main(int argc, char** argv) {
+  std::vector<suite::Scenario> scenarios;
+  if (argc > 1) {
+    scenarios.push_back(suite::findScenario(argv[1]));
+  } else {
+    scenarios = suite::builtinScenarios();
+  }
+
+  for (const suite::Scenario& s : scenarios) {
+    const auto q = *sdf::computeRepetitionVector(s.model.graph());
+    std::uint64_t firings = 0;
+    for (const auto v : q) {
+      firings += v;
+    }
+    std::printf("=== %s ===\n%s\n", s.name.c_str(), s.description.c_str());
+    std::printf("%zu actors, %zu channels, %llu firings per iteration, constraint %lld/%lld\n",
+                s.model.graph().actorCount(), s.model.graph().channelCount(),
+                static_cast<unsigned long long>(firings),
+                static_cast<long long>(s.model.throughputConstraint().num()),
+                static_cast<long long>(s.model.throughputConstraint().den()));
+
+    // One full flow per recommended platform.
+    for (const platform::TemplateRequest& request : s.platforms) {
+      const auto arch = platform::generateFromTemplate(request);
+      const auto result = mapping::mapApplication(s.model, arch, s.options);
+      if (!result) {
+        std::printf("  %-22s infeasible\n", arch.name().c_str());
+        continue;
+      }
+      std::printf("  %-22s throughput %lld/%lld (%s, %llu HSDF copies)%s\n",
+                  arch.name().c_str(),
+                  static_cast<long long>(result->throughput.iterationsPerCycle.num()),
+                  static_cast<long long>(result->throughput.iterationsPerCycle.den()),
+                  analysis::throughputEngineName(result->throughput.engine),
+                  static_cast<unsigned long long>(result->throughput.hsdfActors),
+                  result->meetsConstraint ? "" : "  [constraint missed]");
+    }
+
+    // The same platforms as a DSE sweep (adds the CommAssist variants).
+    const auto points = suite::scenarioDesignPoints(s);
+    const mapping::DseResult sweep = mapping::exploreDesignSpace(s.model, points, {});
+    std::printf("  DSE sweep: %zu points, %zu feasible, %.1f ms/point\n\n", sweep.points.size(),
+                sweep.feasibleCount(), sweep.meanPointSeconds() * 1e3);
+  }
+  return 0;
+}

@@ -47,10 +47,11 @@ Graph withCapacities(const Graph& g, const BufferCapacities& capacities) {
 }
 
 sdf::TimedGraph withCapacities(const sdf::TimedGraph& timed, const BufferCapacities& capacities) {
-  sdf::TimedGraph out;
-  out.graph = withCapacities(timed.graph, capacities);
-  out.execTime = timed.execTime;
-  return out;
+  // rebuildFrom carries over every per-actor annotation — in particular
+  // maxConcurrent, which an earlier field-by-field rebuild here dropped,
+  // silently serializing the pipelined (limit-0) latency stages of
+  // binding-aware graphs.
+  return sdf::TimedGraph::rebuildFrom(timed, withCapacities(timed.graph, capacities));
 }
 
 std::uint64_t capacityLowerBound(const Channel& c) {

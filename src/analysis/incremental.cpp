@@ -14,6 +14,9 @@ using sdf::ChannelId;
 IncrementalThroughput::IncrementalThroughput(const sdf::TimedGraph& timed,
                                              const ResourceConstraints* resources,
                                              const ThroughputOptions& options)
+    // Whole-struct copy of the TimedGraph: every per-actor annotation
+    // (execTime, maxConcurrent, future fields) is retained — see
+    // TimedGraph::rebuildFrom for the field-by-field-rebuild hazard.
     : timed_(timed), options_(options) {
   if (timed_.execTime.size() != timed_.graph.actorCount()) {
     throw AnalysisError("IncrementalThroughput: execTime size does not match actor count");

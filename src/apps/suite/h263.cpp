@@ -1,0 +1,76 @@
+#include "apps/suite/h263.hpp"
+
+namespace mamps::suite {
+
+namespace {
+
+constexpr std::uint32_t kBlockTokenBytes = 128;  // 64 coefficients, 16 bit
+constexpr std::uint32_t kRefTokenBytes = 4;      // reference-frame handle
+
+}  // namespace
+
+H263App buildH263App(const H263Options& options) {
+  if (options.macroblocksPerFrame == 0) {
+    throw ModelError("buildH263App: macroblocksPerFrame must be positive");
+  }
+  const std::uint32_t blocks = 6 * options.macroblocksPerFrame;
+
+  H263App app;
+  sdf::Graph g("h263");
+  app.vld = g.addActor("VLD");
+  app.iq = g.addActor("IQ");
+  app.idct = g.addActor("IDCT");
+  app.mc = g.addActor("MC");
+
+  const auto connect = [&g](sdf::ActorId src, std::uint32_t prod, sdf::ActorId dst,
+                            std::uint32_t cons, std::uint64_t tokens, std::uint32_t size,
+                            const char* name) {
+    sdf::ChannelSpec spec;
+    spec.src = src;
+    spec.prodRate = prod;
+    spec.dst = dst;
+    spec.consRate = cons;
+    spec.initialTokens = tokens;
+    spec.tokenSizeBytes = size;
+    spec.name = name;
+    return g.connect(spec);
+  };
+  app.vld2iq = connect(app.vld, blocks, app.iq, 1, 0, kBlockTokenBytes, "vld2iq");
+  app.iq2idct = connect(app.iq, 1, app.idct, 1, 0, kBlockTokenBytes, "iq2idct");
+  app.idct2mc = connect(app.idct, 1, app.mc, blocks, 0, kBlockTokenBytes, "idct2mc");
+  // The cyclic part: MC hands the reconstructed reference frame back to
+  // the VLD; the single initial token is the (grey) start-up frame.
+  app.refFrame = connect(app.mc, 1, app.vld, 1, 1, kRefTokenBytes, "refFrame");
+  app.vldState = connect(app.vld, 1, app.vld, 1, 1, 4, "vldState");
+  app.mcState = connect(app.mc, 1, app.mc, 1, 1, 4, "mcState");
+
+  app.model = sdf::ApplicationModel(std::move(g));
+
+  const auto addImpl = [&app](sdf::ActorId actor, const char* fn, const char* proc,
+                              std::uint64_t wcet, std::uint32_t instr, std::uint32_t dataMem,
+                              std::vector<sdf::ChannelId> args) {
+    sdf::ActorImplementation impl;
+    impl.functionName = fn;
+    impl.initFunctionName = std::string(fn) + "_init";
+    impl.processorType = proc;
+    impl.wcetCycles = wcet;
+    impl.instrMemBytes = instr;
+    impl.dataMemBytes = dataMem;
+    impl.argumentChannels = std::move(args);
+    app.model.addImplementation(actor, impl);
+  };
+  addImpl(app.vld, "actor_h263_vld", "microblaze", options.vldWcet, 14 * 1024, 6 * 1024,
+          {app.vld2iq, app.refFrame});
+  addImpl(app.iq, "actor_h263_iq", "microblaze", options.iqWcet, 3 * 1024, 1 * 1024,
+          {app.vld2iq, app.iq2idct});
+  addImpl(app.idct, "actor_h263_idct", "microblaze", options.idctWcet, 5 * 1024, 2 * 1024,
+          {app.iq2idct, app.idct2mc});
+  // Hardware IDCT: the same interface, an eighth of the cycles.
+  addImpl(app.idct, "accel_h263_idct", "accel", options.idctWcet / 8, 0, 2 * 1024,
+          {app.iq2idct, app.idct2mc});
+  addImpl(app.mc, "actor_h263_mc", "microblaze", options.mcWcet, 6 * 1024, 12 * 1024,
+          {app.idct2mc, app.refFrame});
+  return app;
+}
+
+}  // namespace mamps::suite

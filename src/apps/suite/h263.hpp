@@ -1,0 +1,58 @@
+// An H.263-style video decoder as an SDF application.
+//
+//   VLD --B--> IQ --1--> IDCT --1--> MC
+//    ^                                |
+//    '------------ refFrame ----------'   (1 initial token)
+//
+// B = 6 * macroblocksPerFrame block tokens per frame. One graph
+// iteration decodes one frame slice. Unlike the MJPEG case study the
+// graph is *cyclic* through the reference-frame feedback (motion
+// compensation needs the previous reconstructed frame before the VLD
+// may parse the next one), so throughput analysis has to reason about
+// an application-level cycle, not just the comm-model and schedule
+// cycles. This is the classic H.263 decoder shape of the SDF
+// literature, scaled by macroblocksPerFrame.
+#pragma once
+
+#include <cstdint>
+
+#include "sdf/app_model.hpp"
+
+namespace mamps::suite {
+
+/// Shape and calibration knobs of the H.263-style decoder.
+struct H263Options {
+  /// Macroblocks per decoded slice; 11 = one QCIF GOB row. Each
+  /// macroblock is 6 blocks (4:2:0), so the block rate is 6x this.
+  std::uint32_t macroblocksPerFrame = 11;
+  /// WCETs in cycles: slice parse, per-block inverse quantization and
+  /// IDCT, and whole-slice motion compensation.
+  std::uint64_t vldWcet = 26000;
+  std::uint64_t iqWcet = 1800;
+  std::uint64_t idctWcet = 5600;
+  std::uint64_t mcWcet = 38000;
+};
+
+/// The application model plus handles to its actors and channels.
+struct H263App {
+  sdf::ApplicationModel model;
+  sdf::ActorId vld = 0;
+  sdf::ActorId iq = 0;
+  sdf::ActorId idct = 0;
+  sdf::ActorId mc = 0;
+  sdf::ChannelId vld2iq = 0;
+  sdf::ChannelId iq2idct = 0;
+  sdf::ChannelId idct2mc = 0;
+  sdf::ChannelId refFrame = 0;  ///< the cyclic MC -> VLD feedback
+  sdf::ChannelId vldState = 0;
+  sdf::ChannelId mcState = 0;
+};
+
+/// Build the decoder model. Every actor has a Microblaze
+/// implementation; the IDCT additionally carries an "accel" hardware
+/// implementation so heterogeneous platforms can offload it.
+/// @param options shape and WCET calibration
+/// @return the model with actor/channel handles
+[[nodiscard]] H263App buildH263App(const H263Options& options = {});
+
+}  // namespace mamps::suite

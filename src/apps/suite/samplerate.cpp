@@ -1,0 +1,70 @@
+#include "apps/suite/samplerate.hpp"
+
+namespace mamps::suite {
+
+namespace {
+
+constexpr std::uint32_t kSampleBytes = 4;  // one 32-bit PCM sample per token
+
+}  // namespace
+
+SampleRateApp buildSampleRateApp(const SampleRateOptions& options) {
+  SampleRateApp app;
+  sdf::Graph g("cd2dat");
+  app.cd = g.addActor("CD");
+  app.s1 = g.addActor("S1");
+  app.s2 = g.addActor("S2");
+  app.s3 = g.addActor("S3");
+  app.s4 = g.addActor("S4");
+  app.dat = g.addActor("DAT");
+
+  const auto connect = [&g](sdf::ActorId src, std::uint32_t prod, sdf::ActorId dst,
+                            std::uint32_t cons, std::uint64_t tokens, const char* name) {
+    sdf::ChannelSpec spec;
+    spec.src = src;
+    spec.prodRate = prod;
+    spec.dst = dst;
+    spec.consRate = cons;
+    spec.initialTokens = tokens;
+    spec.tokenSizeBytes = kSampleBytes;
+    spec.name = name;
+    return g.connect(spec);
+  };
+  // 160/147 = (2/3) * (4/7) * (4/7) * (5/1): each stage is a polyphase
+  // resampler with the stated production/consumption rates.
+  const auto cd2s1 = connect(app.cd, 1, app.s1, 3, 0, "cd2s1");
+  const auto s12s2 = connect(app.s1, 2, app.s2, 7, 0, "s12s2");
+  const auto s22s3 = connect(app.s2, 4, app.s3, 7, 0, "s22s3");
+  const auto s32s4 = connect(app.s3, 4, app.s4, 1, 0, "s32s4");
+  const auto s42dat = connect(app.s4, 5, app.dat, 1, 0, "s42dat");
+  // State self-edges on the I/O actors and the boundary FIR stages (the
+  // middle stages are modeled stateless, keeping the shape mixed).
+  connect(app.cd, 1, app.cd, 1, 1, "cdState");
+  connect(app.s1, 1, app.s1, 1, 1, "s1State");
+  connect(app.s4, 1, app.s4, 1, 1, "s4State");
+  connect(app.dat, 1, app.dat, 1, 1, "datState");
+
+  app.model = sdf::ApplicationModel(std::move(g));
+
+  const auto addImpl = [&app](sdf::ActorId actor, const char* fn, std::uint64_t wcet,
+                              std::uint32_t instr, std::uint32_t dataMem,
+                              std::vector<sdf::ChannelId> args) {
+    sdf::ActorImplementation impl;
+    impl.functionName = fn;
+    impl.processorType = "microblaze";
+    impl.wcetCycles = wcet;
+    impl.instrMemBytes = instr;
+    impl.dataMemBytes = dataMem;
+    impl.argumentChannels = std::move(args);
+    app.model.addImplementation(actor, impl);
+  };
+  addImpl(app.cd, "actor_cd_src", options.ioWcet, 2 * 1024, 512, {cd2s1});
+  addImpl(app.s1, "actor_fir_2_3", options.stage1Wcet, 3 * 1024, 2 * 1024, {cd2s1, s12s2});
+  addImpl(app.s2, "actor_fir_4_7", options.stage2Wcet, 3 * 1024, 2 * 1024, {s12s2, s22s3});
+  addImpl(app.s3, "actor_fir_4_7b", options.stage3Wcet, 3 * 1024, 2 * 1024, {s22s3, s32s4});
+  addImpl(app.s4, "actor_fir_5_1", options.stage4Wcet, 3 * 1024, 2 * 1024, {s32s4, s42dat});
+  addImpl(app.dat, "actor_dat_sink", options.ioWcet, 2 * 1024, 512, {s42dat});
+  return app;
+}
+
+}  // namespace mamps::suite

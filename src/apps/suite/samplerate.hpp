@@ -1,0 +1,49 @@
+// The classic CD -> DAT sample-rate converter chain as an SDF
+// application: 44.1 kHz in, 48 kHz out, the 160/147 ratio factored into
+// four polyphase FIR stages
+//
+//   CD --1:3--> S1 --2:7--> S2 --4:7--> S3 --4:1--> S4 --5:1--> DAT
+//
+// with the canonical repetition vector q = [147, 49, 14, 8, 32, 160].
+// One iteration converts 147 input samples into 160 output samples.
+// This is the deepest multi-rate shape of the suite: the rates are
+// mutually coprime-ish, so the HSDF expansion is far larger than the
+// actor count and every stage fires a different number of times — the
+// polar opposite of the near-homogeneous MJPEG pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "sdf/app_model.hpp"
+
+namespace mamps::suite {
+
+/// Calibration knobs of the converter chain.
+struct SampleRateOptions {
+  /// WCET in cycles of fetching/emitting one sample frame.
+  std::uint64_t ioWcet = 40;
+  /// WCET in cycles of one firing of each FIR stage (S1..S4). Firings
+  /// process different sample counts, hence the different defaults.
+  std::uint64_t stage1Wcet = 380;
+  std::uint64_t stage2Wcet = 520;
+  std::uint64_t stage3Wcet = 640;
+  std::uint64_t stage4Wcet = 270;
+};
+
+/// The application model plus handles to its actors.
+struct SampleRateApp {
+  sdf::ApplicationModel model;
+  sdf::ActorId cd = 0;
+  sdf::ActorId s1 = 0;
+  sdf::ActorId s2 = 0;
+  sdf::ActorId s3 = 0;
+  sdf::ActorId s4 = 0;
+  sdf::ActorId dat = 0;
+};
+
+/// Build the converter model (Microblaze implementations throughout).
+/// @param options WCET calibration
+/// @return the model with actor handles
+[[nodiscard]] SampleRateApp buildSampleRateApp(const SampleRateOptions& options = {});
+
+}  // namespace mamps::suite

@@ -1,0 +1,161 @@
+#include "apps/suite/suite.hpp"
+
+#include "apps/suite/h263.hpp"
+#include "apps/suite/samplerate.hpp"
+#include "apps/suite/synthetic.hpp"
+
+namespace mamps::suite {
+
+namespace {
+
+using platform::InterconnectKind;
+using platform::TemplateRequest;
+
+TemplateRequest stockRequest(std::uint32_t tiles, InterconnectKind kind) {
+  TemplateRequest request;
+  request.tileCount = tiles;
+  request.interconnect = kind;
+  return request;
+}
+
+Scenario h263Scenario() {
+  Scenario s;
+  s.name = "h263";
+  s.description =
+      "H.263-style decoder: cyclic through the reference-frame feedback, "
+      "coarse-grained multi-rate (66 blocks per slice)";
+  H263App app = buildH263App();
+  // Calibrated against the recommended platforms: the single-iteration
+  // serial bound is ~1/552400, so multi-tile pipelining (and buffer
+  // growth) is needed to reach the constraint.
+  app.model.setThroughputConstraint(Rational(1, 600'000));
+  s.model = std::move(app.model);
+  s.platforms = {stockRequest(2, InterconnectKind::Fsl),
+                 stockRequest(3, InterconnectKind::Fsl),
+                 stockRequest(4, InterconnectKind::NocMesh),
+                 platform::heterogeneousPreset(3, {"accel"})};
+  // 66 blocks back to back in the static order need ~66-token buffers;
+  // the growth loop doubles from the lower bound, so give it headroom.
+  s.options.bufferGrowthRounds = 10;
+  return s;
+}
+
+Scenario cd2datScenario() {
+  Scenario s;
+  s.name = "cd2dat";
+  s.description =
+      "CD->DAT sample-rate converter: deep multi-rate chain, "
+      "q = [147, 49, 14, 8, 32, 160]";
+  SampleRateApp app = buildSampleRateApp();
+  // Serial single-tile bound is ~1/51940 per iteration (147 samples).
+  app.model.setThroughputConstraint(Rational(1, 60'000));
+  s.model = std::move(app.model);
+  s.platforms = {stockRequest(2, InterconnectKind::Fsl),
+                 stockRequest(3, InterconnectKind::NocMesh),
+                 platform::largeMeshPreset(12)};
+  // The 147-firing CD stage needs a full iteration buffered on some
+  // schedules (see h263Scenario).
+  s.options.bufferGrowthRounds = 10;
+  return s;
+}
+
+Scenario syntheticForkScenario() {
+  Scenario s;
+  s.name = "synthetic_fork";
+  s.description =
+      "seeded fork-join workload (10 actors, two parallel branches, "
+      "accelerator implementations on some actors)";
+  SyntheticOptions options;
+  options.seed = 42;
+  options.topology = Topology::ForkJoin;
+  options.actors = 10;
+  options.accelChance = 0.4;
+  s.model = buildSynthetic(options);
+  // Only reachable with real parallelism (4t NoC: 1/6879; the hetero
+  // accel platform: 1/3621); small platforms report meetsConstraint =
+  // false, which the cross-application bench counts.
+  s.model.setThroughputConstraint(Rational(1, 6'900));
+  s.platforms = {stockRequest(2, InterconnectKind::Fsl),
+                 stockRequest(4, InterconnectKind::NocMesh),
+                 platform::heterogeneousPreset(3, {"accel", "accel"}),
+                 platform::largeMeshPreset(12)};
+  return s;
+}
+
+Scenario syntheticRingScenario() {
+  Scenario s;
+  s.name = "synthetic_ring";
+  s.description =
+      "seeded ring workload (8 actors, one application-level cycle "
+      "provisioned with a full iteration of tokens)";
+  SyntheticOptions options;
+  options.seed = 7;
+  options.topology = Topology::Ring;
+  options.actors = 8;
+  options.accelChance = 0.0;
+  s.model = buildSynthetic(options);
+  // Met immediately on the 2-tile platform (1/31317); the others start
+  // below it and drive the buffer-growth loop.
+  s.model.setThroughputConstraint(Rational(1, 32'500));
+  s.platforms = {stockRequest(2, InterconnectKind::Fsl),
+                 stockRequest(3, InterconnectKind::Fsl),
+                 stockRequest(4, InterconnectKind::NocMesh)};
+  return s;
+}
+
+}  // namespace
+
+std::vector<Scenario> builtinScenarios() {
+  std::vector<Scenario> all;
+  all.push_back(h263Scenario());
+  all.push_back(cd2datScenario());
+  all.push_back(syntheticForkScenario());
+  all.push_back(syntheticRingScenario());
+  return all;
+}
+
+Scenario findScenario(std::string_view name) {
+  for (Scenario& s : builtinScenarios()) {
+    if (s.name == name) {
+      return std::move(s);
+    }
+  }
+  throw Error("findScenario: unknown scenario '" + std::string(name) + "'");
+}
+
+std::vector<mapping::DesignPoint> scenarioDesignPoints(const Scenario& scenario) {
+  std::vector<mapping::DesignPoint> points;
+  for (const TemplateRequest& request : scenario.platforms) {
+    for (const auto serialization :
+         {comm::SerializationMode::OnProcessor, comm::SerializationMode::CommAssist}) {
+      mapping::DesignPoint point;
+      point.platform = request;
+      point.options = scenario.options;
+      point.options.serialization = serialization;
+      // IP tiles are called out separately ("3t+1ip") so a homogeneous
+      // platform with the same total tile count cannot collide. Built
+      // with appends: GCC 12's -Wrestrict falsely fires on the
+      // equivalent operator+ chain.
+      const std::size_t ipTiles = request.hardwareIpTiles.size();
+      std::string label = scenario.name;
+      label += "/";
+      label += std::to_string(request.tileCount);
+      label += "t";
+      if (ipTiles > 0) {
+        label += "+";
+        label += std::to_string(ipTiles);
+        label += "ip";
+      }
+      label += "_";
+      label += platform::interconnectKindName(request.interconnect);
+      if (serialization == comm::SerializationMode::CommAssist) {
+        label += "_ca";
+      }
+      point.label = std::move(label);
+      points.push_back(std::move(point));
+    }
+  }
+  return points;
+}
+
+}  // namespace mamps::suite

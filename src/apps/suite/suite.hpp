@@ -1,0 +1,70 @@
+// The multi-application scenario suite.
+//
+// The paper sells the flow as a multi-application mapping system, but
+// the repository's only end-to-end case study used to be the MJPEG
+// decoder. This registry adds application models with genuinely
+// different shapes — an H.263-style decoder (cyclic, coarse-grained
+// multi-rate), the CD->DAT sample-rate converter (deep multi-rate
+// chain), and two pinned instances of the seeded synthetic workload
+// generator (fork-join with accelerator offload, all-cyclic ring) —
+// each paired with the platform templates it should be driven through.
+// Everything here runs the complete analyze -> bind -> schedule ->
+// grow-buffers -> DSE pipeline; tests/scenario_test.cpp registers one
+// end-to-end flow test per scenario and bench/bench_scenarios.cpp
+// sweeps the whole suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapping/dse.hpp"
+#include "platform/arch_template.hpp"
+#include "sdf/app_model.hpp"
+
+/// \namespace mamps::suite
+/// \brief The multi-application scenario suite: application models,
+/// seeded workload generation, and the scenario registry.
+
+namespace mamps::suite {
+
+/// One suite entry: an application plus its recommended platforms.
+struct Scenario {
+  /// Stable identifier ("h263", "cd2dat", ...).
+  std::string name;
+  /// One-line description of what shape this scenario exercises.
+  std::string description;
+  /// The application, complete with implementations and a throughput
+  /// constraint calibrated so that at least one recommended platform
+  /// meets it (typically after buffer growth).
+  sdf::ApplicationModel model;
+  /// Platform templates this scenario is expected to map onto
+  /// end-to-end; every entry must yield a feasible mapping.
+  std::vector<platform::TemplateRequest> platforms;
+  /// Calibrated mapping knobs. Coarse-grained multi-rate scenarios need
+  /// a larger buffer-growth budget than the default: the list scheduler
+  /// may order all q[a] firings of an actor back to back, which only
+  /// executes once the connecting buffers hold a full iteration's worth
+  /// of tokens.
+  mapping::MappingOptions options{};
+};
+
+/// The built-in scenarios, in a stable order.
+/// @return h263, cd2dat, synthetic_fork, synthetic_ring
+[[nodiscard]] std::vector<Scenario> builtinScenarios();
+
+/// Look up a built-in scenario by name.
+/// @param name one of the builtinScenarios() names
+/// @return the scenario
+/// @throws Error when the name is unknown
+[[nodiscard]] Scenario findScenario(std::string_view name);
+
+/// Expand a scenario into design points: its recommended platforms
+/// crossed with both serialization modes, labelled
+/// "<scenario>/<n>t[+<m>ip]_<interconnect>[_ca]" (the "+<m>ip" segment
+/// appears for platforms with hardware IP tiles). Feed to
+/// mapping::exploreDesignSpace for a cross-application sweep.
+/// @param scenario the scenario to expand
+/// @return one DesignPoint per platform x serialization combination
+[[nodiscard]] std::vector<mapping::DesignPoint> scenarioDesignPoints(const Scenario& scenario);
+
+}  // namespace mamps::suite

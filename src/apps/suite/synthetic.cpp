@@ -1,0 +1,164 @@
+#include "apps/suite/synthetic.hpp"
+
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace mamps::suite {
+
+namespace {
+
+/// Rates for an edge between actors with repetition counts qFrom/qTo:
+/// prod = qTo/g * k, cons = qFrom/g * k keeps the balance equation
+/// qFrom * prod == qTo * cons for any scale factor k.
+struct EdgeRates {
+  std::uint32_t prod = 1;
+  std::uint32_t cons = 1;
+};
+
+EdgeRates ratesFor(std::uint64_t qFrom, std::uint64_t qTo, Rng& rng,
+                   std::uint32_t maxRateFactor) {
+  const std::uint64_t g = std::gcd(qFrom, qTo);
+  const std::uint64_t k = rng.range(1, maxRateFactor);
+  return {static_cast<std::uint32_t>(qTo / g * k), static_cast<std::uint32_t>(qFrom / g * k)};
+}
+
+}  // namespace
+
+sdf::ApplicationModel buildSynthetic(const SyntheticOptions& options) {
+  if (options.actors < 3) {
+    throw ModelError("buildSynthetic: need at least 3 actors");
+  }
+  if (options.maxQ == 0 || options.maxRateFactor == 0 || options.wcetLo > options.wcetHi ||
+      options.tokenSizeLoWords == 0 || options.tokenSizeLoWords > options.tokenSizeHiWords) {
+    throw ModelError("buildSynthetic: empty distribution range");
+  }
+  // Rates are bounded by maxQ * maxRateFactor; reject option combinations
+  // whose truncation to the 32-bit channel rates would silently break the
+  // consistency-by-construction guarantee.
+  if (std::uint64_t{options.maxQ} * options.maxRateFactor >
+      std::numeric_limits<std::uint32_t>::max()) {
+    throw ModelError("buildSynthetic: maxQ * maxRateFactor overflows the channel rates");
+  }
+  Rng rng(options.seed);
+  const std::uint32_t n = options.actors;
+
+  sdf::Graph g("synthetic_" + std::to_string(options.seed));
+  std::vector<sdf::ActorId> ids;
+  std::vector<std::uint64_t> q;
+  ids.reserve(n);
+  q.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ids.push_back(g.addActor("w" + std::to_string(i)));
+    q.push_back(rng.range(1, options.maxQ));
+  }
+
+  // Forward edges carry no tokens; a backward (cycle-closing) edge is
+  // provisioned with one full iteration of its own production, which
+  // keeps the generated graph live by construction.
+  const auto connect = [&](std::uint32_t from, std::uint32_t to, bool backward) {
+    const EdgeRates r = ratesFor(q[from], q[to], rng, options.maxRateFactor);
+    sdf::ChannelSpec spec;
+    spec.src = ids[from];
+    spec.prodRate = r.prod;
+    spec.dst = ids[to];
+    spec.consRate = r.cons;
+    spec.initialTokens = backward ? q[from] * r.prod : 0;
+    spec.tokenSizeBytes =
+        4 * static_cast<std::uint32_t>(
+                rng.range(options.tokenSizeLoWords, options.tokenSizeHiWords));
+    return g.connect(spec);
+  };
+
+  switch (options.topology) {
+    case Topology::Chain:
+    case Topology::Ring: {
+      for (std::uint32_t i = 0; i + 1 < n; ++i) {
+        connect(i, i + 1, false);
+      }
+      for (std::uint32_t e = 0; e < options.extraChannels; ++e) {
+        const auto from = static_cast<std::uint32_t>(rng.range(0, n - 2));
+        const auto to = static_cast<std::uint32_t>(rng.range(from + 1, n - 1));
+        connect(from, to, false);
+      }
+      if (options.topology == Topology::Ring) {
+        connect(n - 1, 0, /*backward=*/true);
+      }
+      break;
+    }
+    case Topology::ForkJoin: {
+      // Actor 0 forks, odd ids form one branch, even ids (from 2) the
+      // other, actor n-1 joins. Branches are chains.
+      std::vector<std::uint32_t> branchA;
+      std::vector<std::uint32_t> branchB;
+      for (std::uint32_t i = 1; i + 1 < n; ++i) {
+        (i % 2 == 1 ? branchA : branchB).push_back(i);
+      }
+      for (const auto& branch : {branchA, branchB}) {
+        std::uint32_t prev = 0;
+        for (const std::uint32_t a : branch) {
+          connect(prev, a, false);
+          prev = a;
+        }
+        connect(prev, n - 1, false);
+      }
+      for (std::uint32_t e = 0; e < options.extraChannels; ++e) {
+        // Extra skip edges stay within a branch to keep the DAG shape.
+        const auto& branch = rng.chance(0.5) ? branchA : branchB;
+        if (branch.size() < 2) {
+          continue;
+        }
+        const auto i = static_cast<std::uint32_t>(rng.range(0, branch.size() - 2));
+        const auto j = static_cast<std::uint32_t>(rng.range(i + 1, branch.size() - 1));
+        connect(branch[i], branch[j], false);
+      }
+      break;
+    }
+  }
+
+  // State self-edges.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (rng.chance(options.stateChance)) {
+      g.connect(ids[i], 1, ids[i], 1, 1, g.actor(ids[i]).name + "State");
+    }
+  }
+
+  sdf::ApplicationModel model(std::move(g));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t wcet = rng.range(options.wcetLo, options.wcetHi);
+    std::vector<sdf::ChannelId> args;
+    for (const sdf::ChannelId c : model.graph().actor(ids[i]).outputs) {
+      if (!model.graph().channel(c).isSelfEdge()) {
+        args.push_back(c);
+      }
+    }
+    for (const sdf::ChannelId c : model.graph().actor(ids[i]).inputs) {
+      if (!model.graph().channel(c).isSelfEdge()) {
+        args.push_back(c);
+      }
+    }
+    sdf::ActorImplementation impl;
+    impl.functionName = "actor_" + model.graph().actor(ids[i]).name;
+    impl.processorType = "microblaze";
+    impl.wcetCycles = wcet;
+    impl.instrMemBytes = options.instrMemBytes;
+    impl.dataMemBytes = options.dataMemBytes;
+    impl.argumentChannels = args;
+    model.addImplementation(ids[i], impl);
+    if (rng.chance(options.accelChance)) {
+      sdf::ActorImplementation accel = impl;
+      accel.functionName = "accel_" + model.graph().actor(ids[i]).name;
+      accel.processorType = "accel";
+      accel.wcetCycles = std::max<std::uint64_t>(1, wcet / 6);
+      accel.instrMemBytes = 0;
+      model.addImplementation(ids[i], accel);
+    }
+  }
+  model.validate();
+  return model;
+}
+
+}  // namespace mamps::suite

@@ -1,0 +1,57 @@
+// Seeded synthetic SDF workload generator.
+//
+// Produces *consistent, deadlock-free* application models from a seed
+// and a handful of distribution knobs: topology family, rate diversity
+// (via a sampled repetition vector, so the balance equations hold by
+// construction), WCET and token-size ranges, and optional accelerator
+// implementations. The same options always produce the same model
+// (splitmix64 underneath), so generated scenarios are as pinnable as
+// hand-written ones — the suite uses two fixed seeds as its third and
+// fourth applications, and sweeps can scale to thousands of distinct
+// workloads by varying the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "sdf/app_model.hpp"
+
+namespace mamps::suite {
+
+/// Topology family of a generated workload.
+enum class Topology {
+  /// A linear pipeline with optional extra forward (skip) edges.
+  Chain,
+  /// Chain plus a closing feedback edge provisioned with one full
+  /// iteration of tokens: the whole graph is one big cycle.
+  Ring,
+  /// One source forking into two parallel branches that rejoin at a
+  /// sink actor.
+  ForkJoin,
+};
+
+/// Distribution knobs of the generator.
+struct SyntheticOptions {
+  std::uint64_t seed = 1;  ///< same options + seed = same model
+  Topology topology = Topology::Chain;  ///< topology family
+  std::uint32_t actors = 8;             ///< actor count, >= 3
+  std::uint32_t maxQ = 4;           ///< per-actor repetition count range [1, maxQ]
+  std::uint32_t maxRateFactor = 2;  ///< multiplies the balance-derived base rates
+  std::uint32_t extraChannels = 2;  ///< extra forward (skip) edges, all topologies
+  std::uint64_t wcetLo = 50;        ///< per-firing WCET lower bound (cycles)
+  std::uint64_t wcetHi = 2000;      ///< per-firing WCET upper bound (cycles)
+  std::uint32_t tokenSizeLoWords = 1;   ///< token payload lower bound (32-bit words)
+  std::uint32_t tokenSizeHiWords = 16;  ///< token payload upper bound (32-bit words)
+  double stateChance = 0.3;   ///< per-actor chance of a state self-edge
+  double accelChance = 0.25;  ///< per-actor chance of an "accel" implementation
+  std::uint32_t instrMemBytes = 4096;  ///< instruction memory per implementation
+  std::uint32_t dataMemBytes = 2048;   ///< data memory per implementation
+};
+
+/// Generate a workload. The result validates, is consistent and
+/// deadlock-free, and names its graph "synthetic_<seed>".
+/// @param options distribution knobs (see the struct)
+/// @return a complete application model
+/// @throws ModelError when options.actors < 3 or a range is empty
+[[nodiscard]] sdf::ApplicationModel buildSynthetic(const SyntheticOptions& options = {});
+
+}  // namespace mamps::suite

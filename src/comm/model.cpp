@@ -62,7 +62,9 @@ CommExpansion expandChannels(const sdf::TimedGraph& timed,
   CommExpansion out;
   out.graph.graph.setName(in.name() + "_comm");
 
-  // Copy actors (ids preserved).
+  // Copy actors (ids preserved). The expansion adds actors below, so
+  // TimedGraph::rebuildFrom does not apply: every per-actor annotation
+  // of TimedGraph must be populated per actor here and in addActor.
   for (ActorId a = 0; a < in.actorCount(); ++a) {
     out.graph.graph.addActor(in.actor(a).name);
     out.graph.execTime.push_back(timed.execTime[a]);

@@ -19,7 +19,16 @@ std::string makeLabel(const DesignPoint& point) {
     return point.label;
   }
   std::string label = std::to_string(point.platform.tileCount);
-  label += "t_";
+  label += "t";
+  // Call out hardware IP tiles ("3t+1ip") so heterogeneous and
+  // homogeneous points with the same processor-tile count stay
+  // distinguishable.
+  if (!point.platform.hardwareIpTiles.empty()) {
+    label += "+";
+    label += std::to_string(point.platform.hardwareIpTiles.size());
+    label += "ip";
+  }
+  label += "_";
   label += platform::interconnectKindName(point.platform.interconnect);
   return label;
 }

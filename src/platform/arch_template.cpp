@@ -9,7 +9,8 @@ Architecture generateFromTemplate(const TemplateRequest& request) {
   if (request.tileCount == 0) {
     throw ModelError("architecture template needs at least one tile");
   }
-  Architecture arch("mamps_" + std::to_string(request.tileCount) + "t_" +
+  const std::uint32_t totalTiles = request.totalTiles();
+  Architecture arch("mamps_" + std::to_string(totalTiles) + "t_" +
                     std::string(interconnectKindName(request.interconnect)));
 
   for (std::uint32_t i = 0; i < request.tileCount; ++i) {
@@ -24,10 +25,18 @@ Architecture generateFromTemplate(const TemplateRequest& request) {
     tile.memory = request.tileMemory;
     arch.addTile(tile);
   }
+  for (std::size_t i = 0; i < request.hardwareIpTiles.size(); ++i) {
+    Tile tile;
+    tile.name = strprintf("ip%zu", i);
+    tile.kind = TileKind::HardwareIp;
+    tile.processorType = request.hardwareIpTiles[i];
+    tile.memory = request.ipTileMemory;
+    arch.addTile(tile);
+  }
 
   arch.setInterconnect(request.interconnect);
   if (request.interconnect == InterconnectKind::NocMesh) {
-    const auto [rows, cols] = nearSquareMesh(request.tileCount);
+    const auto [rows, cols] = nearSquareMesh(totalTiles);
     arch.noc().rows = rows;
     arch.noc().cols = cols;
     arch.noc().wiresPerLink = request.nocWiresPerLink;
@@ -39,6 +48,26 @@ Architecture generateFromTemplate(const TemplateRequest& request) {
   }
   arch.validate();
   return arch;
+}
+
+TemplateRequest largeMeshPreset(std::uint32_t tileCount) {
+  TemplateRequest request;
+  request.tileCount = tileCount;
+  request.interconnect = InterconnectKind::NocMesh;
+  // Wider links and deeper per-connection buffering than the stock
+  // template: a big mesh hosts more simultaneous connections, and the
+  // longer average routes make per-hop back-pressure more likely.
+  request.nocWiresPerLink = 64;
+  request.nocConnectionBufferWords = 8;
+  return request;
+}
+
+TemplateRequest heterogeneousPreset(std::uint32_t tileCount, std::vector<std::string> ipTypes) {
+  TemplateRequest request;
+  request.tileCount = tileCount;
+  request.interconnect = InterconnectKind::Fsl;
+  request.hardwareIpTiles = std::move(ipTypes);
+  return request;
 }
 
 }  // namespace mamps::platform

@@ -5,9 +5,17 @@
 // the board peripherals), slave tiles for the rest, and — for the NoC —
 // a near-square mesh sized to the tile count. Table 1 reports this step
 // as fully automated ("Generating architecture model: 1 second").
+//
+// Beyond the raw request, this header provides the *named presets* of
+// the scenario suite (src/apps/suite): a larger mesh NoC for workloads
+// with many parallel branches and a heterogeneous-tile variant that
+// appends hardware IP tiles for actors with accelerator
+// implementations.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "platform/architecture.hpp"
 
@@ -27,9 +35,45 @@ struct TemplateRequest {
   std::uint32_t nocConnectionBufferWords = 4;
   /// FSL knobs (ignored for NoC).
   std::uint32_t fslFifoDepthWords = 16;
+  /// Hardware IP tiles appended after the processor tiles; each entry
+  /// names the IP's processor type (matching
+  /// sdf::ActorImplementation::processorType, e.g. "accel"). IP tiles
+  /// attach to the interconnect through the same standardized NI as
+  /// processor tiles (Section 4.1), and the NoC mesh is sized to the
+  /// total tile count including them.
+  std::vector<std::string> hardwareIpTiles{};
+  /// Memory of each hardware IP tile (scratch buffers only).
+  MemorySpec ipTileMemory{8 * 1024, 8 * 1024};
+
+  /// Total tiles the template will instantiate (processor + IP tiles);
+  /// also the tile count the generated architecture's name and the NoC
+  /// mesh are sized to.
+  [[nodiscard]] std::uint32_t totalTiles() const {
+    return tileCount + static_cast<std::uint32_t>(hardwareIpTiles.size());
+  }
 };
 
-/// Instantiate the architecture template. Tile 0 is always the master.
+/// Instantiate the architecture template. Tile 0 is always the master;
+/// hardware IP tiles (if any) get the highest tile ids.
 [[nodiscard]] Architecture generateFromTemplate(const TemplateRequest& request);
+
+/// Scenario-suite preset: a larger SDM mesh NoC (default 12 tiles, 3x4
+/// mesh) with wider links and deeper connection buffers than the stock
+/// template, for applications with many parallel branches or deep
+/// multi-rate chains.
+/// @param tileCount processor tiles in the mesh (master + slaves)
+/// @return the request; pass to generateFromTemplate
+[[nodiscard]] TemplateRequest largeMeshPreset(std::uint32_t tileCount = 12);
+
+/// Scenario-suite preset: a heterogeneous platform with `tileCount`
+/// Microblaze tiles on an FSL interconnect plus one hardware IP tile
+/// per entry of `ipTypes`. Actors carrying an implementation for an IP
+/// type can be bound to the matching tile by the flow (Section 3:
+/// multiple implementations per actor enable heterogeneous mapping).
+/// @param tileCount processor tiles (master + slaves)
+/// @param ipTypes processor type of each appended hardware IP tile
+/// @return the request; pass to generateFromTemplate
+[[nodiscard]] TemplateRequest heterogeneousPreset(
+    std::uint32_t tileCount = 3, std::vector<std::string> ipTypes = {"accel"});
 
 }  // namespace mamps::platform

@@ -136,6 +136,29 @@ struct TimedGraph {
   [[nodiscard]] std::uint32_t concurrencyLimit(ActorId id) const {
     return maxConcurrent.empty() ? 1 : maxConcurrent.at(id);
   }
+
+  /// Rebuild a TimedGraph around a transformed structural graph that
+  /// kept the actor set (same ids, e.g. after adding channels): every
+  /// per-actor annotation is carried over from `timing`. All
+  /// graph-rewriting code must go through this (or copy the whole
+  /// struct) instead of assigning fields one by one, so a future field
+  /// cannot be silently dropped the way `maxConcurrent` once was in
+  /// analysis::withCapacities. Transformations that change the actor
+  /// set (sdf::toHsdf, comm::expandChannels) cannot use it and must
+  /// instead populate every annotation per actor they emit.
+  /// @param timing source of the per-actor annotations
+  /// @param structure the transformed graph; must have the same actor
+  ///   count as `timing.graph`
+  /// @return `timing` with its structural graph replaced by `structure`
+  /// @throws ModelError when the actor counts disagree
+  [[nodiscard]] static TimedGraph rebuildFrom(const TimedGraph& timing, Graph structure) {
+    if (structure.actorCount() != timing.graph.actorCount()) {
+      throw ModelError("TimedGraph::rebuildFrom: actor count changed by the transformation");
+    }
+    TimedGraph out = timing;  // whole-struct copy: picks up every field
+    out.graph = std::move(structure);
+    return out;
+  }
 };
 
 }  // namespace mamps::sdf

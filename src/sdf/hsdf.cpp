@@ -15,7 +15,9 @@ HsdfExpansion toHsdf(const TimedGraph& timed) {
   HsdfExpansion out;
   out.hsdf.graph.setName(g.name() + "_hsdf");
 
-  // Create q[a] copies of each actor.
+  // Create q[a] copies of each actor. The expansion changes the actor
+  // set, so TimedGraph::rebuildFrom does not apply: every per-actor
+  // annotation of TimedGraph must be populated per emitted copy here.
   std::vector<std::vector<ActorId>> copies(g.actorCount());
   for (ActorId a = 0; a < g.actorCount(); ++a) {
     copies[a].reserve(q[a]);

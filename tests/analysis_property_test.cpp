@@ -312,6 +312,43 @@ TEST_P(RandomGraphProperty, ConcurrencyLimitedEnginesAgree) {
   }
 }
 
+TEST_P(RandomGraphProperty, WithCapacitiesPreservesConcurrencyLimits) {
+  // Unlike ConcurrencyLimitedEnginesAgree (which assigns limits to the
+  // already-capacitated graph, and therefore never noticed), this
+  // property assigns random limits *before* capacitating — the exact
+  // path the flow takes through buildBindingAware. withCapacities must
+  // carry the limits through, and both engines must agree on the
+  // resulting capacitated, concurrency-limited graph.
+  Rng rng = makeRng(13000);
+  test::RandomGraphOptions opt;
+  opt.maxActors = 4;
+  opt.maxQ = 3;
+  const Graph g = test::randomConsistentGraph(rng, opt);
+  const auto capacities = minimalDeadlockFreeCapacities(g);
+  ASSERT_TRUE(capacities.has_value());
+  TimedGraph timed{g, test::randomExecTimes(rng, g)};
+  timed.maxConcurrent.resize(timed.graph.actorCount());
+  for (auto& limit : timed.maxConcurrent) {
+    limit = static_cast<std::uint32_t>(rng.range(0, 3));  // 0 = unlimited
+  }
+
+  const TimedGraph bounded = withCapacities(timed, *capacities);
+  ASSERT_EQ(bounded.maxConcurrent, timed.maxConcurrent) << "seed " << GetParam();
+  ASSERT_EQ(bounded.execTime, timed.execTime) << "seed " << GetParam();
+
+  ThroughputOptions stateSpace;
+  stateSpace.engine = ThroughputEngine::StateSpace;
+  const auto viaStateSpace = computeThroughput(bounded, stateSpace);
+  const auto viaMcr = computeThroughput(bounded);
+  ASSERT_EQ(viaMcr.engine, ThroughputEngine::Mcr)
+      << "finite limits must stay on the fast path";
+  ASSERT_EQ(viaStateSpace.status, viaMcr.status) << "seed " << GetParam();
+  if (viaStateSpace.ok()) {
+    EXPECT_EQ(viaStateSpace.iterationsPerCycle, viaMcr.iterationsPerCycle)
+        << "seed " << GetParam();
+  }
+}
+
 TEST_P(RandomGraphProperty, HowardMatchesBruteForceOnRandomHsdf) {
   Rng rng = makeRng(5000);
   test::RandomGraphOptions opt;

@@ -512,6 +512,56 @@ TEST(BufferTest, WithCapacitiesAddsBackEdges) {
   EXPECT_EQ(capped.channel(*space).consRate, 2u);
 }
 
+TEST(BufferTest, WithCapacitiesPreservesConcurrencyLimits) {
+  // Regression: the TimedGraph overload once rebuilt the struct field by
+  // field and dropped maxConcurrent, silently serializing every actor of
+  // the capacitated graph (limit-0 comm-model latency stages included).
+  Graph g = test::pipelineGraph(1, 1);
+  TimedGraph timed{std::move(g), {5, 7}};
+  timed.maxConcurrent = {0, 3};
+  const TimedGraph capped = withCapacities(timed, {4});
+  EXPECT_EQ(capped.maxConcurrent, timed.maxConcurrent);
+  EXPECT_EQ(capped.execTime, timed.execTime);
+  EXPECT_EQ(capped.graph.channelCount(), 2u);
+}
+
+TEST(BufferTest, CapacitatedPipelinedStageKeepsItsOverlap) {
+  // src -> lat -> dst with a pipelined (limit-0) latency stage, both
+  // channels capacitated to 4. The critical cycle runs through a space
+  // back-edge: 4 tokens over src+lat (or lat+dst) = 101 cycles of work,
+  // so throughput is 4/101. The old dropped-limit rebuild serialized
+  // lat, whose implicit self-edge then dominated at 1/100.
+  Graph g;
+  const auto src = g.addActor("src");
+  const auto lat = g.addActor("lat");
+  const auto dst = g.addActor("dst");
+  g.connect(src, 1, lat, 1, 0, "in");
+  g.connect(lat, 1, dst, 1, 0, "out");
+  TimedGraph timed{std::move(g), {1, 100, 1}};
+  timed.maxConcurrent = {1, 0, 1};
+  const TimedGraph capped = withCapacities(timed, {4, 4});
+
+  const auto viaMcr = computeThroughput(capped);
+  ASSERT_TRUE(viaMcr.ok());
+  EXPECT_EQ(viaMcr.engine, ThroughputEngine::Mcr);
+  EXPECT_EQ(viaMcr.iterationsPerCycle, Rational(4, 101));
+
+  ThroughputOptions stateSpace;
+  stateSpace.engine = ThroughputEngine::StateSpace;
+  const auto reference = computeThroughput(capped, stateSpace);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(reference.iterationsPerCycle, viaMcr.iterationsPerCycle);
+
+  // The serialized reading is strictly slower — preserving the limit is
+  // a real calibration change, not a cosmetic one.
+  TimedGraph serialized = capped;
+  serialized.maxConcurrent.clear();
+  const auto slow = computeThroughput(serialized);
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(slow.iterationsPerCycle, Rational(1, 100));
+  EXPECT_LT(slow.iterationsPerCycle, viaMcr.iterationsPerCycle);
+}
+
 TEST(BufferTest, ZeroCapacityMeansUnbounded) {
   const Graph g = test::pipelineGraph(1, 1);
   const Graph capped = withCapacities(g, {0});
