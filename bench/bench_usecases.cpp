@@ -1,0 +1,80 @@
+// Multi-application co-mapping sweep: every built-in use case (a
+// workload of applications sharing ONE platform) is swept through the
+// DSE engine's workload design points (both serialization modes),
+// exercising mapWorkload's residual-budget flow, the MCR fast path,
+// and the parallel multi-application sweep. Prints one JSON object to
+// stdout; the trajectory at ../BENCH_usecases.json records these
+// numbers across PRs. Exits non-zero when any use case fails to co-map
+// every application, any application misses its throughput constraint,
+// or a guarantee leaves the MCR fast path.
+#include <cstdio>
+#include <string>
+
+#include "apps/suite/usecases.hpp"
+#include "mapping/dse.hpp"
+
+using namespace mamps;
+
+int main() {
+  bool healthy = true;
+  std::string rows;
+  double totalSeconds = 0.0;
+  std::size_t totalPoints = 0;
+
+  for (const suite::UseCase& uc : suite::builtinUseCases()) {
+    const suite::UseCaseSweep sweep = suite::useCaseDesignPoints(uc);
+    const mapping::DseResult run = mapping::exploreDesignSpace(sweep.apps, sweep.points, {});
+    totalSeconds += run.totalSeconds;
+    totalPoints += run.points.size();
+
+    std::string apps;
+    for (const mapping::DesignPointResult& point : run.points) {
+      if (!point.workload || !point.workload->feasible()) {
+        healthy = false;  // every workload application must co-map
+        continue;
+      }
+      if (!point.workload->meetsConstraints()) {
+        healthy = false;  // and meet its own constraint on the residual
+      }
+      for (std::size_t i = 0; i < point.workload->apps.size(); ++i) {
+        const auto& result = *point.workload->apps[i];
+        if (!result.throughput.ok() ||
+            result.throughput.engine != analysis::ThroughputEngine::Mcr) {
+          healthy = false;
+          continue;
+        }
+        char app[256];
+        std::snprintf(app, sizeof app,
+                      "      {\"point\": \"%s\", \"app\": \"%s\", \"throughput\": \"%lld/%lld\", "
+                      "\"meets_constraint\": %s}",
+                      point.label.c_str(), uc.apps[i].name.c_str(),
+                      static_cast<long long>(result.throughput.iterationsPerCycle.num()),
+                      static_cast<long long>(result.throughput.iterationsPerCycle.den()),
+                      result.meetsConstraint ? "true" : "false");
+        apps += apps.empty() ? "" : ",\n";
+        apps += app;
+      }
+    }
+
+    char head[256];
+    std::snprintf(head, sizeof head,
+                  "    {\"name\": \"%s\", \"apps\": %zu, \"points\": %zu, \"feasible\": %zu, "
+                  "\"mean_point_ms\": %.2f, \"guarantees\": [\n",
+                  uc.name.c_str(), uc.apps.size(), run.points.size(), run.feasibleCount(),
+                  run.meanPointSeconds() * 1e3);
+    rows += rows.empty() ? "" : ",\n";
+    rows += head;
+    rows += apps;
+    rows += "\n    ]}";
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"bench_usecases\",\n");
+  std::printf("  \"workload\": \"use cases co-mapped on one shared platform x {PE, CA}\",\n");
+  std::printf("  \"total_points\": %zu,\n", totalPoints);
+  std::printf("  \"total_seconds\": %.3f,\n", totalSeconds);
+  std::printf("  \"usecases\": [\n%s\n  ],\n", rows.c_str());
+  std::printf("  \"healthy\": %s\n", healthy ? "true" : "false");
+  std::printf("}\n");
+  return healthy ? 0 : 1;
+}

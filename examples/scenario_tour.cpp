@@ -2,16 +2,52 @@
 // application is pushed through the complete flow (bind, schedule,
 // grow buffers, guaranteed-throughput analysis) on each of its
 // recommended platform templates, then swept through the DSE engine.
-// Run with a scenario name (e.g. `scenario_tour cd2dat`) to tour just
-// that scenario.
+// The tour closes with the co-mapping use cases: whole workloads of
+// applications mapped together onto ONE shared platform through
+// mapping::mapWorkload, each on the residual of what the previous
+// applications committed. Run with a scenario name (e.g.
+// `scenario_tour cd2dat`) to tour just that scenario.
 #include <cstdio>
 
 #include "apps/suite/suite.hpp"
+#include "apps/suite/usecases.hpp"
 #include "mapping/dse.hpp"
 #include "platform/arch_template.hpp"
 #include "sdf/repetition_vector.hpp"
 
 using namespace mamps;
+
+/// The co-mapping leg: every built-in use case's workload is co-mapped
+/// onto its shared platform; per application we print the guarantee on
+/// the residual budget, then the combined per-tile accounting.
+void tourUseCases() {
+  std::printf("=== co-mapping use cases ===\n");
+  for (const suite::UseCase& uc : suite::builtinUseCases()) {
+    std::printf("--- %s ---\n%s\n", uc.name.c_str(), uc.description.c_str());
+    const mapping::WorkloadResult workload = suite::mapUseCase(uc);
+    for (std::size_t i = 0; i < uc.apps.size(); ++i) {
+      if (!workload.apps[i]) {
+        std::printf("  %-16s infeasible on the residual budget\n", uc.apps[i].name.c_str());
+        continue;
+      }
+      const auto& result = *workload.apps[i];
+      std::printf("  %-16s throughput %lld/%lld (constraint %lld/%lld)%s\n",
+                  uc.apps[i].name.c_str(),
+                  static_cast<long long>(result.throughput.iterationsPerCycle.num()),
+                  static_cast<long long>(result.throughput.iterationsPerCycle.den()),
+                  static_cast<long long>(uc.apps[i].model.throughputConstraint().num()),
+                  static_cast<long long>(uc.apps[i].model.throughputConstraint().den()),
+                  result.meetsConstraint ? "" : "  [constraint missed]");
+    }
+    std::printf("  shared platform %ut_%s: per-tile load (cycles/iteration):",
+                uc.platform.totalTiles(),
+                std::string(platform::interconnectKindName(uc.platform.interconnect)).c_str());
+    for (const mapping::TileUsage& usage : workload.usage) {
+      std::printf(" %llu", static_cast<unsigned long long>(usage.loadCycles));
+    }
+    std::printf("\n\n");
+  }
+}
 
 int main(int argc, char** argv) {
   std::vector<suite::Scenario> scenarios;
@@ -56,6 +92,10 @@ int main(int argc, char** argv) {
     const mapping::DseResult sweep = mapping::exploreDesignSpace(s.model, points, {});
     std::printf("  DSE sweep: %zu points, %zu feasible, %.1f ms/point\n\n", sweep.points.size(),
                 sweep.feasibleCount(), sweep.meanPointSeconds() * 1e3);
+  }
+
+  if (argc <= 1) {
+    tourUseCases();
   }
   return 0;
 }

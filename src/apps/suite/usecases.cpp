@@ -1,0 +1,154 @@
+#include "apps/suite/usecases.hpp"
+
+#include "apps/mjpeg/actors.hpp"
+#include "apps/suite/suite.hpp"
+
+namespace mamps::suite {
+
+namespace {
+
+/// The MJPEG decoder of the case study with the pinned calibration of
+/// the worked example (docs/throughput.md): measurement-calibrated
+/// WCETs on the synthetic worst-case stream. Standalone on the 2-tile
+/// FSL platform this model analyzes to exactly 1/1236968 iterations per
+/// cycle (pinned by tests/usecase_test.cpp).
+sdf::ApplicationModel mjpegModel() {
+  mjpeg::MjpegWcets wcets;
+  wcets.vld = 80696;
+  wcets.iqzz = 8536;
+  wcets.idct = 102575;
+  wcets.cc = 93280;
+  wcets.raster = 19646;
+  return mjpeg::buildMjpegApp(wcets).model;
+}
+
+UseCase mjpegH263Mesh() {
+  UseCase uc;
+  uc.name = "mjpeg_h263_mesh";
+  uc.description =
+      "the MJPEG case-study decoder co-mapped with the cyclic H.263 "
+      "decoder on the 12-tile SDM mesh";
+  uc.platform = platform::largeMeshPreset(12);
+
+  UseCaseApp mjpeg;
+  mjpeg.name = "mjpeg";
+  mjpeg.model = mjpegModel();
+  // Calibrated against the residual mesh: the decoder pipeline spreads
+  // over the tiles the H.263 workload leaves free.
+  mjpeg.model.setThroughputConstraint(Rational(1, 1'500'000));
+  mjpeg.priority = 1;  // the case study is the primary application
+  uc.apps.push_back(std::move(mjpeg));
+
+  UseCaseApp h263;
+  h263.name = "h263";
+  const Scenario scenario = findScenario("h263");
+  h263.model = scenario.model;
+  h263.options = scenario.options;
+  uc.apps.push_back(std::move(h263));
+  return uc;
+}
+
+UseCase cd2datRingHetero() {
+  UseCase uc;
+  uc.name = "cd2dat_ring_hetero";
+  uc.description =
+      "the CD->DAT sample-rate converter co-mapped with the seeded ring "
+      "workload on the heterogeneous preset";
+  uc.platform = platform::heterogeneousPreset(4, {"accel"});
+
+  UseCaseApp cd2dat;
+  cd2dat.name = "cd2dat";
+  Scenario scenario = findScenario("cd2dat");
+  cd2dat.model = std::move(scenario.model);
+  cd2dat.options = scenario.options;
+  // Without a footprint cap the load-balancing binder would spread the
+  // converter over every processor tile and starve the ring; two tiles
+  // meet its constraint comfortably (standalone 2-tile pin: 1/30576).
+  cd2dat.options.maxTiles = 2;
+  cd2dat.priority = 1;  // the converter claims its pipeline tiles first
+  uc.apps.push_back(std::move(cd2dat));
+
+  UseCaseApp ring;
+  ring.name = "synthetic_ring";
+  Scenario ringScenario = findScenario("synthetic_ring");
+  ring.model = std::move(ringScenario.model);
+  ring.options = ringScenario.options;
+  ring.options.maxTiles = 2;
+  uc.apps.push_back(std::move(ring));
+  return uc;
+}
+
+}  // namespace
+
+std::vector<UseCase> builtinUseCases() {
+  std::vector<UseCase> all;
+  all.push_back(mjpegH263Mesh());
+  all.push_back(cd2datRingHetero());
+  return all;
+}
+
+UseCase findUseCase(std::string_view useCase) {
+  for (UseCase& uc : builtinUseCases()) {
+    if (uc.name == useCase) {
+      return std::move(uc);
+    }
+  }
+  throw Error("findUseCase: unknown use case '" + std::string(useCase) + "'");
+}
+
+mapping::WorkloadOptions useCaseWorkloadOptions(const UseCase& useCase) {
+  mapping::WorkloadOptions options;
+  options.appOptions.reserve(useCase.apps.size());
+  options.priorities.reserve(useCase.apps.size());
+  for (const UseCaseApp& app : useCase.apps) {
+    options.appOptions.push_back(app.options);
+    options.priorities.push_back(app.priority);
+  }
+  return options;
+}
+
+mapping::WorkloadResult mapUseCase(const UseCase& useCase) {
+  std::vector<mapping::AppAnalysisCache> caches;
+  caches.reserve(useCase.apps.size());
+  for (const UseCaseApp& app : useCase.apps) {
+    caches.push_back(mapping::prepareApplication(app.model));
+  }
+  const platform::Architecture arch = platform::generateFromTemplate(useCase.platform);
+  return mapping::mapWorkload(caches, arch, useCaseWorkloadOptions(useCase));
+}
+
+UseCaseSweep useCaseDesignPoints(const UseCase& useCase) {
+  UseCaseSweep sweep;
+  for (const UseCaseApp& app : useCase.apps) {
+    sweep.apps.push_back(&app.model);
+  }
+  for (const auto serialization :
+       {comm::SerializationMode::OnProcessor, comm::SerializationMode::CommAssist}) {
+    mapping::DesignPoint point;
+    point.platform = useCase.platform;
+    point.workloadOptions = useCaseWorkloadOptions(useCase);
+    for (std::size_t i = 0; i < useCase.apps.size(); ++i) {
+      point.workloadApps.push_back(i);
+      point.workloadOptions.appOptions[i].serialization = serialization;
+    }
+    std::string label = useCase.name;
+    label += "/";
+    label += std::to_string(useCase.platform.tileCount);
+    label += "t";
+    if (!useCase.platform.hardwareIpTiles.empty()) {
+      label += "+";
+      label += std::to_string(useCase.platform.hardwareIpTiles.size());
+      label += "ip";
+    }
+    label += "_";
+    label += platform::interconnectKindName(useCase.platform.interconnect);
+    if (serialization == comm::SerializationMode::CommAssist) {
+      label += "_ca";
+    }
+    point.label = std::move(label);
+    sweep.points.push_back(std::move(point));
+  }
+  return sweep;
+}
+
+}  // namespace mamps::suite

@@ -1,0 +1,90 @@
+// The multi-application use-case registry.
+//
+// A *use case* is a workload of applications that must run together on
+// ONE shared platform — the paper's headline scenario (multiple
+// throughput-constrained applications on one generated MPSoC). Each
+// built-in use case pairs a workload (suite scenarios and/or the MJPEG
+// decoder of the case study) with the platform template it is expected
+// to co-map onto, with every application meeting its own throughput
+// constraint on the residual budget. tests/usecase_test.cpp runs every
+// use case end-to-end and cross-checks the per-application guarantees
+// against the state-space engine; bench/bench_usecases.cpp sweeps the
+// registry and records the trajectory in ../BENCH_usecases.json.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapping/dse.hpp"
+#include "mapping/workload.hpp"
+#include "platform/arch_template.hpp"
+#include "sdf/app_model.hpp"
+
+namespace mamps::suite {
+
+/// One application of a use-case workload.
+struct UseCaseApp {
+  /// Stable identifier within the use case ("mjpeg", "h263", ...).
+  std::string name;
+  /// The application, with a throughput constraint calibrated so the
+  /// whole workload is satisfiable on the use case's platform.
+  sdf::ApplicationModel model;
+  /// Calibrated mapping knobs for this application.
+  mapping::MappingOptions options{};
+  /// Mapping priority: higher-priority applications claim platform
+  /// resources first (ties keep registry order).
+  int priority = 0;
+};
+
+/// A use case: a workload plus the shared platform it co-maps onto.
+struct UseCase {
+  /// Stable identifier ("mjpeg_h263_mesh", ...).
+  std::string name;
+  /// One-line description of what the use case exercises.
+  std::string description;
+  /// The workload, in registry order (>= 2 applications).
+  std::vector<UseCaseApp> apps;
+  /// The shared platform template; the whole workload must co-map onto
+  /// it with every application meeting its constraint.
+  platform::TemplateRequest platform;
+};
+
+/// The built-in use cases, in a stable order.
+/// @return mjpeg_h263_mesh, cd2dat_ring_hetero
+[[nodiscard]] std::vector<UseCase> builtinUseCases();
+
+/// Look up a built-in use case by name.
+/// @param useCase one of the builtinUseCases() names
+/// @return the use case
+/// @throws Error when the name is unknown
+[[nodiscard]] UseCase findUseCase(std::string_view useCase);
+
+/// The workload knobs of a use case: per-application options and
+/// priorities, assembled from its apps.
+/// @param useCase the use case to assemble options for
+/// @return options ready for mapping::mapWorkload
+[[nodiscard]] mapping::WorkloadOptions useCaseWorkloadOptions(const UseCase& useCase);
+
+/// Co-map the whole workload of a use case onto its platform.
+/// @param useCase the use case to map
+/// @return per-application results plus the combined platform usage
+[[nodiscard]] mapping::WorkloadResult mapUseCase(const UseCase& useCase);
+
+/// A use case expanded for mapping::exploreDesignSpace: the application
+/// list plus workload design points (the use case's platform crossed
+/// with both serialization modes, labelled
+/// "<usecase>/<platform>[_ca]"). The pointers reference the use case's
+/// models, so `useCase` must outlive the sweep.
+struct UseCaseSweep {
+  /// The applications referenced by the points.
+  std::vector<const sdf::ApplicationModel*> apps;
+  /// One workload DesignPoint per serialization mode.
+  std::vector<mapping::DesignPoint> points;
+};
+
+/// Expand a use case into workload design points.
+/// @param useCase the use case to expand (must outlive the result)
+/// @return the apps vector and labelled points for exploreDesignSpace
+[[nodiscard]] UseCaseSweep useCaseDesignPoints(const UseCase& useCase);
+
+}  // namespace mamps::suite

@@ -8,6 +8,7 @@
 namespace mamps::mapping {
 
 using platform::Architecture;
+using platform::ResourceBudget;
 using platform::TileId;
 using sdf::ActorId;
 using sdf::ApplicationModel;
@@ -20,21 +21,22 @@ namespace {
 
 /// Hop distance between two tiles for latency costing; 1 for FSL
 /// (dedicated point-to-point links), XY distance for the NoC.
-std::uint32_t tileDistance(const Architecture& arch, TileId a, TileId b) {
+std::uint32_t tileDistance(const Architecture& arch, const ResourceBudget& budget, TileId a,
+                           TileId b) {
   if (a == b) {
     return 0;
   }
   if (arch.interconnect() == platform::InterconnectKind::Fsl) {
     return 1;
   }
-  const platform::NocTopology topology(arch.noc());
-  return topology.hopDistance(a, b);
+  return budget.nocTopology().hopDistance(a, b);
 }
 
 }  // namespace
 
-std::optional<BindingResult> bindActors(const ApplicationModel& app, const Architecture& arch,
-                                        const MappingOptions& options) {
+std::optional<BindingResult> bindActors(const ApplicationModel& app, const MappingOptions& options,
+                                        ResourceBudget& budget, std::uint32_t client) {
+  const Architecture& arch = *budget.arch();
   const sdf::Graph& g = app.graph();
   const auto qOpt = sdf::computeRepetitionVector(g);
   if (!qOpt) {
@@ -48,13 +50,6 @@ std::optional<BindingResult> bindActors(const ApplicationModel& app, const Archi
   BindingResult result;
   result.actorToTile.assign(g.actorCount(), 0);
   result.usage.assign(arch.tileCount(), {});
-  for (std::size_t t = 0; t < arch.tileCount(); ++t) {
-    // Hardware IP tiles run no software: no scheduler/comm layer.
-    if (arch.tile(static_cast<TileId>(t)).kind != platform::TileKind::HardwareIp) {
-      result.usage[t].instrBytes = runtimeLayerInstrBytes();
-      result.usage[t].dataBytes = runtimeLayerDataBytes();
-    }
-  }
 
   // Total work, for normalizing the processing cost.
   double totalWork = 0;
@@ -86,6 +81,7 @@ std::optional<BindingResult> bindActors(const ApplicationModel& app, const Archi
   });
 
   std::vector<bool> bound(g.actorCount(), false);
+  std::uint32_t claimedTiles = 0;
 
   for (const ActorId a : order) {
     double bestCost = 0;
@@ -94,24 +90,31 @@ std::optional<BindingResult> bindActors(const ApplicationModel& app, const Archi
 
     for (TileId t = 0; t < arch.tileCount(); ++t) {
       const platform::Tile& tile = arch.tile(t);
+      if (!budget.tileAvailable(t, client)) {
+        continue;  // claimed by another application of the workload
+      }
+      if (options.maxTiles != 0 && claimedTiles >= options.maxTiles &&
+          budget.tiles()[t].owner != client) {
+        continue;  // the application's tile footprint is capped
+      }
       const sdf::ActorImplementation* impl = app.implementationFor(a, tile.processorType);
       if (impl == nullptr) {
         continue;  // no implementation for this processor type
       }
-      const TileUsage& usage = result.usage[t];
-      if (usage.instrBytes + impl->instrMemBytes > tile.memory.instrBytes ||
-          usage.dataBytes + impl->dataMemBytes > tile.memory.dataBytes) {
-        continue;  // memory does not fit
+      const platform::TileBudget& committed = budget.tiles()[t];
+      if (impl->instrMemBytes > budget.freeInstrBytes(t) ||
+          impl->dataMemBytes > budget.freeDataBytes(t)) {
+        continue;  // memory does not fit the residual
       }
 
       // Cost functions (Section 5.1): processing, memory, communication,
       // latency; all normalized to [0, ~1] before weighting.
       const double processing =
-          (static_cast<double>(usage.loadCycles) +
+          (static_cast<double>(committed.loadCycles) +
            static_cast<double>(impl->wcetCycles) * static_cast<double>(q[a])) /
           totalWork;
       const double memory =
-          static_cast<double>(usage.instrBytes + impl->instrMemBytes + usage.dataBytes +
+          static_cast<double>(committed.instrBytes + impl->instrMemBytes + committed.dataBytes +
                               impl->dataMemBytes) /
           static_cast<double>(tile.memory.totalBytes());
 
@@ -130,7 +133,7 @@ std::optional<BindingResult> bindActors(const ApplicationModel& app, const Archi
                                          static_cast<double>(c.prodRate) *
                                          static_cast<double>(c.tokenSizeBytes);
         commBytes += bytesPerIteration;
-        latencyHops += tileDistance(arch, t, otherTile);
+        latencyHops += tileDistance(arch, budget, t, otherTile);
       };
       for (const ChannelId cid : g.actor(a).inputs) {
         accountChannel(cid, g.channel(cid).src);
@@ -159,14 +162,30 @@ std::optional<BindingResult> bindActors(const ApplicationModel& app, const Archi
     }
     result.actorToTile[a] = *bestTile;
     bound[a] = true;
-    TileUsage& usage = result.usage[*bestTile];
-    usage.loadCycles += bestImpl->wcetCycles * q[a];
-    usage.instrBytes += bestImpl->instrMemBytes;
-    usage.dataBytes += bestImpl->dataMemBytes;
-    usage.actors.push_back(a);
+    if (budget.tiles()[*bestTile].owner != client) {
+      ++claimedTiles;
+    }
+    budget.commitTile(*bestTile, client, bestImpl->wcetCycles * q[a], bestImpl->instrMemBytes,
+                      bestImpl->dataMemBytes);
+    result.usage[*bestTile].actors.push_back(a);
   }
 
+  // The per-tile accounting is the budget's committed state (baseline +
+  // every client so far), not a recomputation.
+  for (TileId t = 0; t < arch.tileCount(); ++t) {
+    const platform::TileBudget& committed = budget.tiles()[t];
+    result.usage[t].loadCycles = committed.loadCycles;
+    result.usage[t].instrBytes = committed.instrBytes;
+    result.usage[t].dataBytes = committed.dataBytes;
+  }
   return result;
+}
+
+std::optional<BindingResult> bindActors(const ApplicationModel& app, const Architecture& arch,
+                                        const MappingOptions& options) {
+  platform::ResourceBudget budget(arch);
+  budget.commitBaseline(runtimeLayerInstrBytes(), runtimeLayerDataBytes());
+  return bindActors(app, options, budget, /*client=*/0);
 }
 
 }  // namespace mamps::mapping

@@ -1,25 +1,44 @@
 // Resource-aware actor binding driven by generic cost functions
 // (Section 5.1). Actors are bound one by one, heaviest first; each
 // candidate tile is scored on processing balance, memory headroom,
-// inter-tile communication volume, and interconnect latency.
+// inter-tile communication volume, and interconnect latency. All
+// capacity checks and reservations go through the shared-platform
+// platform::ResourceBudget, so a workload's applications bind onto the
+// residual of what earlier applications committed.
 #pragma once
 
 #include <optional>
 #include <vector>
 
 #include "mapping/mapping.hpp"
+#include "platform/resource_budget.hpp"
 
 namespace mamps::mapping {
 
 struct BindingResult {
   std::vector<platform::TileId> actorToTile;
-  std::vector<TileUsage> usage;  ///< per tile
+  /// Per tile: the budget's committed reservations after this binding
+  /// (baseline + every client mapped so far) plus this application's
+  /// actors on that tile.
+  std::vector<TileUsage> usage;
 };
 
-/// Bind every actor of `app` to a tile of `arch`. Actors can only go to
-/// tiles whose processor type they have an implementation for, and only
-/// where instruction/data memory still fits. Returns nullopt when no
-/// feasible binding exists.
+/// Bind every actor of `app` to a tile of the budget's architecture.
+/// Actors can only go to tiles whose processor type they have an
+/// implementation for, that are not claimed by another client, and
+/// where instruction/data memory still fits the residual budget.
+/// Successful placements are committed to `budget` (claiming the tiles
+/// for `client`); on failure the budget is left partially committed, so
+/// callers trial a copy. Returns nullopt when no feasible binding
+/// exists.
+[[nodiscard]] std::optional<BindingResult> bindActors(const sdf::ApplicationModel& app,
+                                                      const MappingOptions& options,
+                                                      platform::ResourceBudget& budget,
+                                                      std::uint32_t client);
+
+/// Single-application convenience: bind onto a fresh budget of `arch`
+/// (with the runtime layer as baseline). Identical to the workload
+/// overload with one client.
 [[nodiscard]] std::optional<BindingResult> bindActors(const sdf::ApplicationModel& app,
                                                       const platform::Architecture& arch,
                                                       const MappingOptions& options);

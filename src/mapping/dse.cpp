@@ -30,20 +30,41 @@ std::string makeLabel(const DesignPoint& point) {
   }
   label += "_";
   label += platform::interconnectKindName(point.platform.interconnect);
+  if (!point.workloadApps.empty()) {
+    label += "_wl";
+    label += std::to_string(point.workloadApps.size());
+  }
   return label;
 }
 
 /// Run one design point end to end. Everything this touches is either
 /// point-local or immutable shared state, so points are freely
 /// parallelizable.
-DesignPointResult explorePoint(const sdf::ApplicationModel& app, const AppAnalysisCache* cache,
+DesignPointResult explorePoint(const std::vector<const sdf::ApplicationModel*>& apps,
+                               const std::vector<AppAnalysisCache>* caches,
                                const DesignPoint& point) {
   DesignPointResult result;
   result.label = makeLabel(point);
   const auto start = Clock::now();
   const platform::Architecture arch = platform::generateFromTemplate(point.platform);
-  result.mapping = cache != nullptr ? mapApplication(*cache, arch, point.options)
-                                    : mapApplication(app, arch, point.options);
+  // Uncached sweeps (the from-scratch baseline) prepare per point.
+  std::vector<AppAnalysisCache> local;
+  const auto cacheFor = [&](std::size_t i) -> const AppAnalysisCache& {
+    if (caches != nullptr) {
+      return (*caches)[i];
+    }
+    return local.emplace_back(prepareApplication(*apps[i]));
+  };
+  if (point.workloadApps.empty()) {
+    result.mapping = mapApplication(cacheFor(0), arch, point.options);
+  } else {
+    std::vector<AppAnalysisCache> workload;
+    workload.reserve(point.workloadApps.size());
+    for (const std::size_t i : point.workloadApps) {
+      workload.push_back(cacheFor(i));
+    }
+    result.workload = mapWorkload(workload, arch, point.workloadOptions);
+  }
   result.seconds = seconds(Clock::now() - start);
   return result;
 }
@@ -71,12 +92,31 @@ double DseResult::meanPointSeconds() const {
 
 DseResult exploreDesignSpace(const sdf::ApplicationModel& app,
                              const std::vector<DesignPoint>& points, const DseOptions& options) {
+  return exploreDesignSpace(std::vector<const sdf::ApplicationModel*>{&app}, points, options);
+}
+
+DseResult exploreDesignSpace(const std::vector<const sdf::ApplicationModel*>& apps,
+                             const std::vector<DesignPoint>& points, const DseOptions& options) {
   const auto sweepStart = Clock::now();
-  std::optional<AppAnalysisCache> cache;
-  if (options.reusePreparation) {
-    cache = prepareApplication(app);
+  if (apps.empty() && !points.empty()) {
+    throw ModelError("exploreDesignSpace: no applications given");
   }
-  const AppAnalysisCache* sharedCache = cache ? &*cache : nullptr;
+  for (const DesignPoint& point : points) {
+    for (const std::size_t i : point.workloadApps) {
+      if (i >= apps.size()) {
+        throw ModelError("exploreDesignSpace: workload app index out of range");
+      }
+    }
+  }
+  std::optional<std::vector<AppAnalysisCache>> caches;
+  if (options.reusePreparation) {
+    caches.emplace();
+    caches->reserve(apps.size());
+    for (const sdf::ApplicationModel* app : apps) {
+      caches->push_back(prepareApplication(*app));
+    }
+  }
+  const std::vector<AppAnalysisCache>* sharedCaches = caches ? &*caches : nullptr;
 
   DseResult out;
   out.points.resize(points.size());
@@ -90,7 +130,7 @@ DseResult exploreDesignSpace(const sdf::ApplicationModel& app,
   const auto worker = [&] {
     for (std::size_t i = next.fetch_add(1); i < points.size(); i = next.fetch_add(1)) {
       try {
-        out.points[i] = explorePoint(app, sharedCache, points[i]);
+        out.points[i] = explorePoint(apps, sharedCaches, points[i]);
       } catch (...) {
         const std::scoped_lock lock(errorMutex);
         if (!firstError) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "mapping/flow.hpp"
+#include "mapping/workload.hpp"
 #include "platform/arch_template.hpp"
 
 namespace mamps::mapping {
@@ -33,9 +34,20 @@ namespace mamps::mapping {
 struct DesignPoint {
   /// The architecture template to instantiate for this point.
   platform::TemplateRequest platform{};
-  /// Mapping knobs (serialization mode, buffer policy, ...).
+  /// Mapping knobs (serialization mode, buffer policy, ...) for
+  /// single-application points; ignored when `workloadApps` is set.
   MappingOptions options{};
-  /// Display label; auto-generated ("<n>t_<interconnect>") when empty.
+  /// Multi-application point: indices into the `apps` vector of the
+  /// workload overload of exploreDesignSpace, co-mapped onto this
+  /// platform via mapWorkload. Empty = single-application point
+  /// (the sweep's application, mapped with `options`).
+  std::vector<std::size_t> workloadApps{};
+  /// Workload knobs (per-app options, priorities) for multi-application
+  /// points; `workloadOptions.appOptions`, when used, is indexed like
+  /// `workloadApps`.
+  WorkloadOptions workloadOptions{};
+  /// Display label; auto-generated ("<n>t_<interconnect>", with a
+  /// "_wl<k>" suffix for k-application workload points) when empty.
   std::string label;
 };
 
@@ -43,15 +55,22 @@ struct DesignPoint {
 struct DesignPointResult {
   /// The (possibly auto-generated) label of the point.
   std::string label;
-  /// The mapping and its throughput guarantee; nullopt when no feasible
-  /// binding exists or the application deadlocks.
+  /// Single-application points: the mapping and its throughput
+  /// guarantee; nullopt when no feasible binding exists or the
+  /// application deadlocks (always nullopt for workload points).
   std::optional<MappingResult> mapping;
+  /// Workload points: the co-mapping outcome (nullopt for
+  /// single-application points).
+  std::optional<WorkloadResult> workload;
   /// Wall time spent mapping and analyzing this point, in seconds.
   double seconds = 0.0;
 
-  /// True when the point produced a mapping.
-  /// @return mapping.has_value()
-  [[nodiscard]] bool feasible() const { return mapping.has_value(); }
+  /// True when the point produced a mapping (for workload points: every
+  /// application of the workload mapped).
+  /// @return mapping.has_value(), or WorkloadResult::feasible()
+  [[nodiscard]] bool feasible() const {
+    return mapping.has_value() || (workload.has_value() && workload->feasible());
+  }
 };
 
 /// Tuning knobs for exploreDesignSpace().
@@ -85,10 +104,27 @@ struct DseResult {
 /// Run the complete mapping step on every design point. See the header
 /// comment for the performance mechanisms and the determinism contract.
 /// @param app the application to map (must outlive the call)
-/// @param points the platform instances and mapping knobs to sweep
+/// @param points the platform instances and mapping knobs to sweep;
+///   `workloadApps` entries may only reference index 0 in this overload
 /// @param options worker-pool and caching knobs
 /// @return per-point results in input order plus sweep-level timing
 [[nodiscard]] DseResult exploreDesignSpace(const sdf::ApplicationModel& app,
+                                           const std::vector<DesignPoint>& points,
+                                           const DseOptions& options = {});
+
+/// Multi-application sweep: like the overload above, but points may
+/// co-map any subset of `apps` (DesignPoint::workloadApps) onto their
+/// platform through mapWorkload. Application-level precomputation is
+/// shared per application across all points (one AppAnalysisCache
+/// each), and the same parallelism and determinism contracts hold:
+/// results in input order, bit-identical for any thread count.
+/// @param apps the applications referenced by the points (non-null,
+///   must outlive the call)
+/// @param points the platform instances and workloads to sweep
+/// @param options worker-pool and caching knobs
+/// @return per-point results in input order plus sweep-level timing
+/// @throws ModelError when a point references an app index out of range
+[[nodiscard]] DseResult exploreDesignSpace(const std::vector<const sdf::ApplicationModel*>& apps,
                                            const std::vector<DesignPoint>& points,
                                            const DseOptions& options = {});
 

@@ -1,133 +1,11 @@
 #include "mapping/flow.hpp"
 
-#include <algorithm>
-
-#include "analysis/buffer.hpp"
-#include "analysis/incremental.hpp"
-#include "mapping/schedule.hpp"
-#include "platform/noc_topology.hpp"
+#include "mapping/workload.hpp"
 #include "sdf/repetition_vector.hpp"
-#include "support/log.hpp"
 
 namespace mamps::mapping {
 
-using platform::TileId;
 using sdf::ActorId;
-using sdf::ChannelId;
-
-namespace {
-
-/// Assign interconnect resources to every inter-tile channel. For the
-/// NoC this reserves SDM wires along the XY route (degrading the wire
-/// count when links fill up); for FSL every channel gets a dedicated
-/// link. Returns false when a NoC connection cannot be routed at all.
-bool routeChannels(const sdf::Graph& g, const platform::Architecture& arch,
-                   const std::vector<TileId>& actorToTile, const MappingOptions& options,
-                   std::vector<ChannelRoute>& routes) {
-  routes.assign(g.channelCount(), {});
-  std::uint32_t fslIndex = 0;
-
-  std::optional<platform::NocTopology> topology;
-  std::optional<platform::WireAllocator> allocator;
-  if (arch.interconnect() == platform::InterconnectKind::NocMesh) {
-    topology.emplace(arch.noc());
-    allocator.emplace(*topology);
-  }
-
-  for (ChannelId c = 0; c < g.channelCount(); ++c) {
-    const sdf::Channel& channel = g.channel(c);
-    ChannelRoute& route = routes[c];
-    route.srcTile = actorToTile[channel.src];
-    route.dstTile = actorToTile[channel.dst];
-    route.interTile = route.srcTile != route.dstTile;
-    if (!route.interTile) {
-      continue;
-    }
-    if (arch.interconnect() == platform::InterconnectKind::Fsl) {
-      route.fslIndex = fslIndex++;
-      continue;
-    }
-    route.route = topology->xyRoute(route.srcTile, route.dstTile);
-    std::uint32_t wires = std::min(options.nocWiresPerConnection, arch.noc().wiresPerLink);
-    wires = std::max<std::uint32_t>(wires, 1);
-    while (!allocator->reserve(route.route, wires)) {
-      if (wires == 1) {
-        return false;  // the route is saturated
-      }
-      wires /= 2;
-    }
-    route.wires = wires;
-  }
-  return true;
-}
-
-/// Initial buffer distribution: conservative lower bounds scaled by the
-/// configured factor.
-void assignBuffers(const sdf::Graph& g, const std::vector<ChannelRoute>& routes,
-                   std::uint32_t scale, Mapping& mapping) {
-  mapping.localCapacityTokens.assign(g.channelCount(), 0);
-  mapping.srcBufferTokens.assign(g.channelCount(), 0);
-  mapping.dstBufferTokens.assign(g.channelCount(), 0);
-  for (ChannelId c = 0; c < g.channelCount(); ++c) {
-    const sdf::Channel& channel = g.channel(c);
-    if (channel.isSelfEdge()) {
-      continue;
-    }
-    if (routes[c].interTile) {
-      mapping.srcBufferTokens[c] =
-          (std::uint64_t{channel.prodRate} + channel.initialTokens) * scale;
-      mapping.dstBufferTokens[c] = std::uint64_t{channel.consRate} * scale;
-    } else {
-      mapping.localCapacityTokens[c] = analysis::capacityLowerBound(channel) * scale;
-    }
-  }
-}
-
-void growBuffers(const sdf::Graph& g, Mapping& mapping) {
-  for (ChannelId c = 0; c < g.channelCount(); ++c) {
-    if (g.channel(c).isSelfEdge()) {
-      continue;
-    }
-    if (mapping.channelRoutes[c].interTile) {
-      mapping.srcBufferTokens[c] *= 2;
-      mapping.dstBufferTokens[c] *= 2;
-    } else {
-      mapping.localCapacityTokens[c] *= 2;
-    }
-  }
-}
-
-/// Push the mapping's current buffer sizes into the binding-aware model
-/// (and, when given, the incremental analysis context) by patching the
-/// capacity back-edges' initial tokens — the only part of the model that
-/// depends on buffer sizes, so this replaces a full rebuild.
-void patchCapacityTokens(const sdf::Graph& g, const Mapping& mapping, BindingAwareModel& model,
-                         analysis::IncrementalThroughput* context) {
-  const auto apply = [&](ChannelId id, std::uint64_t tokens) {
-    if (id == sdf::kInvalidChannel) {
-      return;
-    }
-    model.graph.graph.setInitialTokens(id, tokens);
-    if (context != nullptr) {
-      context->setInitialTokens(id, tokens);
-    }
-  };
-  for (ChannelId c = 0; c < g.channelCount(); ++c) {
-    const sdf::Channel& channel = g.channel(c);
-    if (channel.isSelfEdge()) {
-      continue;
-    }
-    const CapacityEdgeIds& ids = model.capacityEdges[c];
-    if (mapping.channelRoutes[c].interTile) {
-      apply(ids.alphaSrc, mapping.srcBufferTokens[c] - channel.initialTokens);
-      apply(ids.alphaDst, mapping.dstBufferTokens[c]);
-    } else {
-      apply(ids.localSpace, mapping.localCapacityTokens[c] - channel.initialTokens);
-    }
-  }
-}
-
-}  // namespace
 
 AppAnalysisCache prepareApplication(const sdf::ApplicationModel& app) {
   app.validate();
@@ -162,105 +40,12 @@ std::optional<MappingResult> mapApplication(const sdf::ApplicationModel& app,
 std::optional<MappingResult> mapApplication(const AppAnalysisCache& cache,
                                             const platform::Architecture& arch,
                                             const MappingOptions& options) {
-  const sdf::ApplicationModel& app = *cache.app;
-  arch.validate();
-  const sdf::Graph& g = app.graph();
-  if (!cache.consistent || !cache.deadlockFree) {
-    return std::nullopt;
-  }
-
-  const auto binding = bindActors(app, arch, options);
-  if (!binding) {
-    logWarning("mapApplication: no feasible binding");
-    return std::nullopt;
-  }
-
-  const auto schedules = buildStaticOrderSchedules(app, arch, binding->actorToTile);
-  if (!schedules) {
-    logWarning("mapApplication: schedule construction deadlocked");
-    return std::nullopt;
-  }
-
-  MappingResult result;
-  result.mapping.actorToTile = binding->actorToTile;
-  result.mapping.schedules = *schedules;
-  result.mapping.serialization = options.serialization;
-  result.usage = binding->usage;
-
-  // Route with the requested SDM width; when a link saturates, retry the
-  // whole allocation with a globally halved request so early connections
-  // do not starve later ones.
-  {
-    std::uint32_t wires = std::max<std::uint32_t>(1, options.nocWiresPerConnection);
-    MappingOptions attempt = options;
-    for (;;) {
-      attempt.nocWiresPerConnection = wires;
-      if (routeChannels(g, arch, binding->actorToTile, attempt,
-                        result.mapping.channelRoutes)) {
-        break;
-      }
-      if (wires == 1) {
-        logWarning("mapApplication: NoC routing failed (saturated links)");
-        return std::nullopt;
-      }
-      wires /= 2;
-    }
-  }
-
-  // WCETs per actor on its bound tile (from the per-application cache;
-  // bindActors only places actors on tiles they have an implementation
-  // for, so the lookups always hit).
-  std::vector<std::uint64_t> wcet(g.actorCount());
-  for (ActorId a = 0; a < g.actorCount(); ++a) {
-    const auto it = cache.wcetByType.find(arch.tile(binding->actorToTile[a]).processorType);
-    if (it == cache.wcetByType.end() || it->second[a] == AppAnalysisCache::kNoWcet) {
-      throw ModelError("mapApplication: actor " + g.actor(a).name +
-                       " bound to a tile without an implementation");
-    }
-    wcet[a] = it->second[a];
-  }
-
-  // Buffer distribution: start from scaled lower bounds, grow until the
-  // throughput constraint holds or the growth budget is spent.
-  assignBuffers(g, result.mapping.channelRoutes, std::max<std::uint32_t>(1, options.initialBufferScale),
-                result.mapping);
-  const Rational constraint = app.throughputConstraint();
-  const auto constraintMet = [&](const analysis::ThroughputResult& t) {
-    return t.ok() && (constraint.isZero() || t.iterationsPerCycle >= constraint);
-  };
-  if (options.incrementalAnalysis) {
-    // Build the binding-aware model once; growth rounds only change
-    // capacity back-edge tokens, which are patched into the model and
-    // the incremental context instead of rebuilding and re-expanding.
-    result.model = buildBindingAware(app, arch, result.mapping, wcet);
-    analysis::IncrementalThroughput context(result.model.graph, &result.model.resources);
-    result.throughput = context.compute();
-    for (std::uint32_t round = 0;; ++round) {
-      const bool met = constraintMet(result.throughput);
-      if (met || round >= options.bufferGrowthRounds) {
-        result.meetsConstraint = met;
-        break;
-      }
-      growBuffers(g, result.mapping);
-      patchCapacityTokens(g, result.mapping, result.model, &context);
-      result.throughput = context.compute();
-    }
-  } else {
-    // From-scratch baseline: rebuild the model and re-run the unified
-    // analysis every round (bit-identical to the incremental path).
-    for (std::uint32_t round = 0;; ++round) {
-      result.model = buildBindingAware(app, arch, result.mapping, wcet);
-      result.throughput =
-          analysis::computeThroughput(result.model.graph, result.model.resources);
-      const bool met = constraintMet(result.throughput);
-      if (met || round >= options.bufferGrowthRounds) {
-        result.meetsConstraint = met;
-        break;
-      }
-      growBuffers(g, result.mapping);
-    }
-  }
-  return result;
+  // The one-application special case of the workload flow: same binding,
+  // routing, buffer-growth, and analysis code path, on a fresh budget.
+  WorkloadOptions workloadOptions;
+  workloadOptions.options = options;
+  WorkloadResult workload = mapWorkload(std::span(&cache, 1), arch, workloadOptions);
+  return std::move(workload.apps.front());
 }
 
 analysis::ThroughputResult analyzeMapping(const sdf::ApplicationModel& app,

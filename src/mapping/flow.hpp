@@ -41,13 +41,21 @@ struct MappingResult {
   BindingAwareModel model;            ///< built with WCETs
   analysis::ThroughputResult throughput;  ///< the conservative guarantee
   bool meetsConstraint = false;
-  std::vector<TileUsage> usage;       ///< per-tile load and memory accounting
+  /// Per-tile load and memory accounting, produced by the shared
+  /// platform::ResourceBudget: the committed reservations (runtime-layer
+  /// baseline plus every application admitted so far, this one included)
+  /// as of this application's admission, with this application's actors
+  /// listed per tile. For a single application this is simply its own
+  /// usage on top of the runtime layer.
+  std::vector<TileUsage> usage;
 };
 
-/// Run the complete mapping step. Returns nullopt when no feasible
-/// binding exists or the application deadlocks; otherwise the best
-/// mapping found (meetsConstraint reports whether the application's
-/// throughput constraint is satisfied).
+/// Run the complete mapping step — the one-application special case of
+/// mapping::mapWorkload (mapping/workload.hpp); both share a single
+/// code path. Returns nullopt when no feasible binding exists or the
+/// application deadlocks; otherwise the best mapping found
+/// (meetsConstraint reports whether the application's throughput
+/// constraint is satisfied).
 [[nodiscard]] std::optional<MappingResult> mapApplication(const sdf::ApplicationModel& app,
                                                           const platform::Architecture& arch,
                                                           const MappingOptions& options = {});

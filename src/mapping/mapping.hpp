@@ -45,10 +45,16 @@ struct Mapping {
   /// Where the (de)serialization runs.
   comm::SerializationMode serialization = comm::SerializationMode::OnProcessor;
 
+  /// Dedicated FSL links this mapping's inter-tile channels occupy
+  /// (one per inter-tile channel). ChannelRoute::fslIndex is allocated
+  /// globally across a co-mapped workload (the links share one
+  /// platform), so this counts the application's own links; the
+  /// workload's platform total is platform::ResourceBudget's
+  /// fslLinksUsed().
   [[nodiscard]] std::uint32_t fslLinkCount() const {
     std::uint32_t n = 0;
     for (const ChannelRoute& r : channelRoutes) {
-      n = std::max(n, r.interTile ? r.fslIndex + 1 : n);
+      n += r.interTile ? 1 : 0;
     }
     return n;
   }
@@ -81,6 +87,12 @@ struct MappingOptions {
   /// (pinned by tests/dse_test.cpp); disabling exists for baselines and
   /// cross-checks.
   bool incrementalAnalysis = true;
+  /// Maximum number of tiles this application may claim (0 = no limit).
+  /// The binder balances load, so without a cap the first application
+  /// of a co-mapped workload spreads over every free tile; capping its
+  /// footprint leaves residual tiles for the applications mapped after
+  /// it (see mapping/workload.hpp).
+  std::uint32_t maxTiles = 0;
 };
 
 /// Intermediate per-tile accounting used by binding and generation.

@@ -1,0 +1,301 @@
+#include "mapping/workload.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "analysis/buffer.hpp"
+#include "analysis/incremental.hpp"
+#include "mapping/binding.hpp"
+#include "mapping/schedule.hpp"
+#include "support/log.hpp"
+
+namespace mamps::mapping {
+
+using platform::ResourceBudget;
+using platform::TileId;
+using sdf::ActorId;
+using sdf::ChannelId;
+
+namespace {
+
+/// Assign interconnect resources to every inter-tile channel, committing
+/// them to `budget`. For the NoC this reserves SDM wires along the XY
+/// route (degrading the wire count when links fill up); for FSL every
+/// channel gets a dedicated link (indices unique across the workload).
+/// Returns false when a NoC connection cannot be routed at all; the
+/// budget is then partially committed, so callers trial a copy.
+bool routeChannels(const sdf::Graph& g, const platform::Architecture& arch,
+                   const std::vector<TileId>& actorToTile, const MappingOptions& options,
+                   ResourceBudget& budget, std::vector<ChannelRoute>& routes) {
+  routes.assign(g.channelCount(), {});
+  for (ChannelId c = 0; c < g.channelCount(); ++c) {
+    const sdf::Channel& channel = g.channel(c);
+    ChannelRoute& route = routes[c];
+    route.srcTile = actorToTile[channel.src];
+    route.dstTile = actorToTile[channel.dst];
+    route.interTile = route.srcTile != route.dstTile;
+    if (!route.interTile) {
+      continue;
+    }
+    if (arch.interconnect() == platform::InterconnectKind::Fsl) {
+      route.fslIndex = budget.allocateFslLink();
+      continue;
+    }
+    route.route = budget.nocTopology().xyRoute(route.srcTile, route.dstTile);
+    std::uint32_t wires = std::min(options.nocWiresPerConnection, arch.noc().wiresPerLink);
+    wires = std::max<std::uint32_t>(wires, 1);
+    while (!budget.reserveNocWires(route.route, wires)) {
+      if (wires == 1) {
+        return false;  // the route is saturated
+      }
+      wires /= 2;
+    }
+    route.wires = wires;
+  }
+  return true;
+}
+
+/// Initial buffer distribution: conservative lower bounds scaled by the
+/// configured factor.
+void assignBuffers(const sdf::Graph& g, const std::vector<ChannelRoute>& routes,
+                   std::uint32_t scale, Mapping& mapping) {
+  mapping.localCapacityTokens.assign(g.channelCount(), 0);
+  mapping.srcBufferTokens.assign(g.channelCount(), 0);
+  mapping.dstBufferTokens.assign(g.channelCount(), 0);
+  for (ChannelId c = 0; c < g.channelCount(); ++c) {
+    const sdf::Channel& channel = g.channel(c);
+    if (channel.isSelfEdge()) {
+      continue;
+    }
+    if (routes[c].interTile) {
+      mapping.srcBufferTokens[c] =
+          (std::uint64_t{channel.prodRate} + channel.initialTokens) * scale;
+      mapping.dstBufferTokens[c] = std::uint64_t{channel.consRate} * scale;
+    } else {
+      mapping.localCapacityTokens[c] = analysis::capacityLowerBound(channel) * scale;
+    }
+  }
+}
+
+void growBuffers(const sdf::Graph& g, Mapping& mapping) {
+  for (ChannelId c = 0; c < g.channelCount(); ++c) {
+    if (g.channel(c).isSelfEdge()) {
+      continue;
+    }
+    if (mapping.channelRoutes[c].interTile) {
+      mapping.srcBufferTokens[c] *= 2;
+      mapping.dstBufferTokens[c] *= 2;
+    } else {
+      mapping.localCapacityTokens[c] *= 2;
+    }
+  }
+}
+
+/// Push the mapping's current buffer sizes into the binding-aware model
+/// (and, when given, the incremental analysis context) by patching the
+/// capacity back-edges' initial tokens — the only part of the model that
+/// depends on buffer sizes, so this replaces a full rebuild.
+void patchCapacityTokens(const sdf::Graph& g, const Mapping& mapping, BindingAwareModel& model,
+                         analysis::IncrementalThroughput* context) {
+  const auto apply = [&](ChannelId id, std::uint64_t tokens) {
+    if (id == sdf::kInvalidChannel) {
+      return;
+    }
+    model.graph.graph.setInitialTokens(id, tokens);
+    if (context != nullptr) {
+      context->setInitialTokens(id, tokens);
+    }
+  };
+  for (ChannelId c = 0; c < g.channelCount(); ++c) {
+    const sdf::Channel& channel = g.channel(c);
+    if (channel.isSelfEdge()) {
+      continue;
+    }
+    const CapacityEdgeIds& ids = model.capacityEdges[c];
+    if (mapping.channelRoutes[c].interTile) {
+      apply(ids.alphaSrc, mapping.srcBufferTokens[c] - channel.initialTokens);
+      apply(ids.alphaDst, mapping.dstBufferTokens[c]);
+    } else {
+      apply(ids.localSpace, mapping.localCapacityTokens[c] - channel.initialTokens);
+    }
+  }
+}
+
+/// The complete mapping step for ONE application of a workload, on the
+/// residual of `budget`. On success the application's reservations are
+/// committed into `budget`; on failure the budget is untouched.
+std::optional<MappingResult> mapOneApp(const AppAnalysisCache& cache,
+                                       const platform::Architecture& arch,
+                                       const MappingOptions& options, ResourceBudget& budget,
+                                       std::uint32_t client) {
+  const sdf::ApplicationModel& app = *cache.app;
+  const sdf::Graph& g = app.graph();
+  if (!cache.consistent || !cache.deadlockFree) {
+    return std::nullopt;
+  }
+
+  // Trial everything on a copy; `budget` only advances on success.
+  ResourceBudget work = budget;
+  const auto binding = bindActors(app, options, work, client);
+  if (!binding) {
+    logWarning("mapWorkload: no feasible binding");
+    return std::nullopt;
+  }
+
+  const auto schedules = buildStaticOrderSchedules(app, arch, binding->actorToTile);
+  if (!schedules) {
+    logWarning("mapWorkload: schedule construction deadlocked");
+    return std::nullopt;
+  }
+
+  MappingResult result;
+  result.mapping.actorToTile = binding->actorToTile;
+  result.mapping.schedules = *schedules;
+  result.mapping.serialization = options.serialization;
+  result.usage = binding->usage;
+
+  // Route with the requested SDM width; when a link saturates, retry the
+  // whole allocation with a globally halved request so early connections
+  // do not starve later ones. Each attempt runs on a fresh copy of the
+  // post-binding budget so a failed attempt commits nothing.
+  {
+    std::uint32_t wires = std::max<std::uint32_t>(1, options.nocWiresPerConnection);
+    MappingOptions attempt = options;
+    for (;;) {
+      attempt.nocWiresPerConnection = wires;
+      ResourceBudget routed = work;
+      if (routeChannels(g, arch, binding->actorToTile, attempt, routed,
+                        result.mapping.channelRoutes)) {
+        work = std::move(routed);
+        break;
+      }
+      if (wires == 1) {
+        logWarning("mapWorkload: NoC routing failed (saturated links)");
+        return std::nullopt;
+      }
+      wires /= 2;
+    }
+  }
+
+  // WCETs per actor on its bound tile (from the per-application cache;
+  // bindActors only places actors on tiles they have an implementation
+  // for, so the lookups always hit).
+  std::vector<std::uint64_t> wcet(g.actorCount());
+  for (ActorId a = 0; a < g.actorCount(); ++a) {
+    const auto it = cache.wcetByType.find(arch.tile(binding->actorToTile[a]).processorType);
+    if (it == cache.wcetByType.end() || it->second[a] == AppAnalysisCache::kNoWcet) {
+      throw ModelError("mapWorkload: actor " + g.actor(a).name +
+                       " bound to a tile without an implementation");
+    }
+    wcet[a] = it->second[a];
+  }
+
+  // Buffer distribution: start from scaled lower bounds, grow until the
+  // throughput constraint holds or the growth budget is spent.
+  assignBuffers(g, result.mapping.channelRoutes,
+                std::max<std::uint32_t>(1, options.initialBufferScale), result.mapping);
+  const Rational constraint = app.throughputConstraint();
+  const auto constraintMet = [&](const analysis::ThroughputResult& t) {
+    return t.ok() && (constraint.isZero() || t.iterationsPerCycle >= constraint);
+  };
+  if (options.incrementalAnalysis) {
+    // Build the binding-aware model once; growth rounds only change
+    // capacity back-edge tokens, which are patched into the model and
+    // the incremental context instead of rebuilding and re-expanding.
+    result.model = buildBindingAware(app, arch, result.mapping, wcet);
+    analysis::IncrementalThroughput context(result.model.graph, &result.model.resources);
+    result.throughput = context.compute();
+    for (std::uint32_t round = 0;; ++round) {
+      const bool met = constraintMet(result.throughput);
+      if (met || round >= options.bufferGrowthRounds) {
+        result.meetsConstraint = met;
+        break;
+      }
+      growBuffers(g, result.mapping);
+      patchCapacityTokens(g, result.mapping, result.model, &context);
+      result.throughput = context.compute();
+    }
+  } else {
+    // From-scratch baseline: rebuild the model and re-run the unified
+    // analysis every round (bit-identical to the incremental path).
+    for (std::uint32_t round = 0;; ++round) {
+      result.model = buildBindingAware(app, arch, result.mapping, wcet);
+      result.throughput =
+          analysis::computeThroughput(result.model.graph, result.model.resources);
+      const bool met = constraintMet(result.throughput);
+      if (met || round >= options.bufferGrowthRounds) {
+        result.meetsConstraint = met;
+        break;
+      }
+      growBuffers(g, result.mapping);
+    }
+  }
+  budget = std::move(work);
+  return result;
+}
+
+}  // namespace
+
+std::size_t WorkloadResult::mappedCount() const {
+  std::size_t n = 0;
+  for (const auto& app : apps) {
+    n += app.has_value() ? 1 : 0;
+  }
+  return n;
+}
+
+bool WorkloadResult::meetsConstraints() const {
+  if (!feasible()) {
+    return false;
+  }
+  for (const auto& app : apps) {
+    if (!app->meetsConstraint) {
+      return false;
+    }
+  }
+  return true;
+}
+
+WorkloadResult mapWorkload(std::span<const AppAnalysisCache> apps,
+                           const platform::Architecture& arch, const WorkloadOptions& options) {
+  arch.validate();
+  if (!options.appOptions.empty() && options.appOptions.size() != apps.size()) {
+    throw ModelError("mapWorkload: appOptions size does not match the workload");
+  }
+  if (!options.priorities.empty() && options.priorities.size() != apps.size()) {
+    throw ModelError("mapWorkload: priorities size does not match the workload");
+  }
+
+  // Priority order: higher first, ties in input order (stable).
+  std::vector<std::size_t> order(apps.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (!options.priorities.empty()) {
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return options.priorities[a] > options.priorities[b];
+    });
+  }
+
+  ResourceBudget budget(arch);
+  budget.commitBaseline(runtimeLayerInstrBytes(), runtimeLayerDataBytes());
+
+  WorkloadResult out;
+  out.apps.resize(apps.size());
+  out.mappingOrder = order;
+  for (const std::size_t i : order) {
+    const MappingOptions& appOptions =
+        options.appOptions.empty() ? options.options : options.appOptions[i];
+    out.apps[i] = mapOneApp(apps[i], arch, appOptions, budget, static_cast<std::uint32_t>(i));
+  }
+
+  // Combined platform accounting straight from the final budget.
+  out.usage.assign(arch.tileCount(), {});
+  for (TileId t = 0; t < arch.tileCount(); ++t) {
+    const platform::TileBudget& committed = budget.tiles()[t];
+    out.usage[t].loadCycles = committed.loadCycles;
+    out.usage[t].instrBytes = committed.instrBytes;
+    out.usage[t].dataBytes = committed.dataBytes;
+  }
+  return out;
+}
+
+}  // namespace mamps::mapping

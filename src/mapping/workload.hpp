@@ -1,0 +1,88 @@
+// Multi-application co-mapping: map a workload of applications onto
+// ONE shared platform.
+//
+// The paper's flow maps multiple throughput-constrained applications
+// onto a single generated MPSoC. mapWorkload() realizes that: the
+// applications are mapped iteratively (in priority order) onto the
+// residual platform::ResourceBudget — each successful mapping commits
+// its tile, memory, SDM-wire, and FSL-link reservations, and the next
+// application only sees what is left. The per-application guarantees
+// compose because every committed resource is exclusive (tiles host one
+// application, SDM wires and FSL links belong to one connection), so
+// co-mapped applications cannot perturb each other's analyzed
+// schedules.
+//
+// mapApplication() (mapping/flow.hpp) is the one-application special
+// case of mapWorkload() — a single code path produces both.
+//
+// Determinism contract: mapWorkload is a pure function of its inputs.
+// Results are returned in input order regardless of the priority order
+// used for mapping.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mapping/flow.hpp"
+#include "platform/resource_budget.hpp"
+
+namespace mamps::mapping {
+
+/// Tuning knobs for mapWorkload().
+struct WorkloadOptions {
+  /// Mapping knobs applied to every application of the workload.
+  MappingOptions options{};
+  /// Per-application overrides; when non-empty it must have one entry
+  /// per application and replaces `options` for that application.
+  std::vector<MappingOptions> appOptions{};
+  /// Mapping priorities, one per application when non-empty: higher
+  /// priorities are mapped (and thus claim resources) first; ties keep
+  /// input order. Empty = map in input order.
+  std::vector<int> priorities{};
+};
+
+/// Outcome of mapping a workload onto one shared platform.
+struct WorkloadResult {
+  /// Per application, in input order: the mapping and its throughput
+  /// guarantee, or nullopt when the application could not be mapped
+  /// onto the residual budget (infeasible applications commit nothing).
+  std::vector<std::optional<MappingResult>> apps;
+  /// Combined per-tile accounting of the shared platform, produced by
+  /// the final ResourceBudget (baseline runtime layer plus every mapped
+  /// application). TileUsage::actors is empty here: actor ids are
+  /// application-local; per-application actors are in each
+  /// MappingResult::usage.
+  std::vector<TileUsage> usage;
+  /// The order (input indices) in which applications were mapped.
+  std::vector<std::size_t> mappingOrder;
+
+  /// Number of applications that produced a mapping.
+  /// @return count of non-null entries of `apps`
+  [[nodiscard]] std::size_t mappedCount() const;
+  /// True when every application produced a mapping.
+  /// @return mappedCount() == apps.size()
+  [[nodiscard]] bool feasible() const { return mappedCount() == apps.size(); }
+  /// True when every application is mapped AND meets its own throughput
+  /// constraint.
+  /// @return feasible() and every MappingResult::meetsConstraint
+  [[nodiscard]] bool meetsConstraints() const;
+};
+
+/// Map a workload of prepared applications onto `arch`. Applications
+/// are mapped in priority order onto the residual resource budget; see
+/// the header comment for the composition and determinism contracts.
+/// @param apps the prepared applications (see prepareApplication); the
+///   underlying models must outlive the call
+/// @param arch the shared platform
+/// @param options workload-level and per-application knobs
+/// @return per-application results in input order plus the combined
+///   platform accounting
+/// @throws ModelError when `options` per-application vectors do not
+///   match the workload size
+[[nodiscard]] WorkloadResult mapWorkload(std::span<const AppAnalysisCache> apps,
+                                         const platform::Architecture& arch,
+                                         const WorkloadOptions& options = {});
+
+}  // namespace mamps::mapping

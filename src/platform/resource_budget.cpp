@@ -1,0 +1,91 @@
+#include "platform/resource_budget.hpp"
+
+namespace mamps::platform {
+
+ResourceBudget::ResourceBudget(const Architecture& arch) : arch_(&arch) {
+  tiles_.assign(arch.tileCount(), {});
+  if (arch.interconnect() == InterconnectKind::NocMesh) {
+    topology_.emplace(arch.noc());
+    usedWires_.assign(topology_->linkCount(), 0);
+  }
+}
+
+void ResourceBudget::commitBaseline(std::uint32_t instrBytes, std::uint32_t dataBytes) {
+  for (TileId t = 0; t < tiles_.size(); ++t) {
+    if (arch_->tile(t).kind == TileKind::HardwareIp) {
+      continue;  // hardware IP tiles run no software
+    }
+    tiles_[t].instrBytes += instrBytes;
+    tiles_[t].dataBytes += dataBytes;
+  }
+}
+
+bool ResourceBudget::tileAvailable(TileId tile, std::uint32_t client) const {
+  const TileBudget& budget = tiles_.at(tile);
+  return budget.owner == TileBudget::kNoClient || budget.owner == client;
+}
+
+std::uint32_t ResourceBudget::freeInstrBytes(TileId tile) const {
+  const std::uint32_t capacity = arch_->tile(tile).memory.instrBytes;
+  const std::uint32_t used = tiles_.at(tile).instrBytes;
+  return used >= capacity ? 0 : capacity - used;
+}
+
+std::uint32_t ResourceBudget::freeDataBytes(TileId tile) const {
+  const std::uint32_t capacity = arch_->tile(tile).memory.dataBytes;
+  const std::uint32_t used = tiles_.at(tile).dataBytes;
+  return used >= capacity ? 0 : capacity - used;
+}
+
+void ResourceBudget::commitTile(TileId tile, std::uint32_t client, std::uint64_t loadCycles,
+                                std::uint32_t instrBytes, std::uint32_t dataBytes) {
+  if (client == TileBudget::kNoClient) {
+    throw Error("ResourceBudget::commitTile: invalid client id");
+  }
+  if (!tileAvailable(tile, client)) {
+    throw Error("ResourceBudget::commitTile: tile " + arch_->tile(tile).name +
+                " is claimed by another client");
+  }
+  if (instrBytes > freeInstrBytes(tile) || dataBytes > freeDataBytes(tile)) {
+    throw Error("ResourceBudget::commitTile: reservation exceeds the residual memory of tile " +
+                arch_->tile(tile).name);
+  }
+  TileBudget& budget = tiles_[tile];
+  budget.loadCycles += loadCycles;
+  budget.instrBytes += instrBytes;
+  budget.dataBytes += dataBytes;
+  budget.owner = client;
+}
+
+const NocTopology& ResourceBudget::nocTopology() const {
+  if (!topology_) {
+    throw Error("ResourceBudget::nocTopology: architecture has no NoC");
+  }
+  return *topology_;
+}
+
+// Same check-then-commit contract as platform::WireAllocator::reserve
+// (noc_topology.hpp) — the budget keeps its own per-link state because
+// it must be copyable for trial mappings, but the semantics (including
+// rejecting a zero-wire reservation) must not drift apart.
+bool ResourceBudget::reserveNocWires(const std::vector<LinkId>& route, std::uint32_t wires) {
+  if (wires == 0) {
+    throw ModelError("ResourceBudget::reserveNocWires: cannot reserve zero wires");
+  }
+  const std::uint32_t capacity = arch_->noc().wiresPerLink;
+  for (const LinkId link : route) {
+    if (usedWires_.at(link) + wires > capacity) {
+      return false;
+    }
+  }
+  for (const LinkId link : route) {
+    usedWires_[link] += wires;
+  }
+  return true;
+}
+
+std::uint32_t ResourceBudget::usedWires(LinkId link) const { return usedWires_.at(link); }
+
+std::uint32_t ResourceBudget::allocateFslLink() { return nextFslIndex_++; }
+
+}  // namespace mamps::platform

@@ -1,0 +1,135 @@
+// Shared-platform resource state: capacity minus committed reservations.
+//
+// One generated MAMPS platform serves a *workload* of applications
+// (the paper maps multiple throughput-constrained applications onto one
+// MPSoC). Every resource an application claims while being mapped —
+// tile processor time, instruction/data memory, SDM wires on NoC links,
+// dedicated FSL links — is committed here, so the next application of
+// the workload is mapped onto the *residual* budget. The guarantees
+// compose because every commitment is exclusive: a tile executes actors
+// of one application only, an SDM wire belongs to one connection, and
+// an FSL link is point-to-point by construction, so no application can
+// interfere with another's analyzed schedule.
+//
+// The budget is a value type: copy it to trial a mapping attempt and
+// assign the copy back to commit, or drop it to roll back.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "platform/architecture.hpp"
+#include "platform/noc_topology.hpp"
+
+namespace mamps::platform {
+
+/// Committed reservations on one tile of the shared platform.
+struct TileBudget {
+  /// Sentinel client id: the tile is not claimed by any client.
+  static constexpr std::uint32_t kNoClient = 0xffffffff;
+
+  std::uint64_t loadCycles = 0;  ///< committed processor cycles per iteration
+  std::uint32_t instrBytes = 0;  ///< committed instruction memory
+  std::uint32_t dataBytes = 0;   ///< committed data memory
+  /// Owning client (kNoClient = unclaimed). A tile is granted to one
+  /// client exclusively: its static-order schedule would otherwise be
+  /// invalidated by another application's firings.
+  std::uint32_t owner = kNoClient;
+};
+
+/// Capacity-minus-reservations accounting for one architecture.
+///
+/// Clients (the applications of a workload, identified by opaque ids)
+/// commit reservations; queries report the residual. The referenced
+/// Architecture must outlive the budget.
+class ResourceBudget {
+ public:
+  /// An empty budget over no architecture (assign before use).
+  ResourceBudget() = default;
+  /// Start an empty budget over `arch` (no reservations committed).
+  /// @param arch the architecture to track; must outlive the budget
+  explicit ResourceBudget(const Architecture& arch);
+
+  /// The architecture this budget tracks.
+  /// @return the architecture, or null for a default-constructed budget
+  [[nodiscard]] const Architecture* arch() const { return arch_; }
+
+  // ------------------------------------------------------------- tiles
+
+  /// Charge a platform-level baseline (e.g. the runtime layer image of
+  /// the MAMPS scheduler/communication library) on every software tile.
+  /// Hardware IP tiles run no software and are skipped. The tiles stay
+  /// unclaimed.
+  /// @param instrBytes instruction memory to charge per software tile
+  /// @param dataBytes data memory to charge per software tile
+  void commitBaseline(std::uint32_t instrBytes, std::uint32_t dataBytes);
+
+  /// May `client` place work on the tile?
+  /// @param tile the tile to query
+  /// @param client the asking client id
+  /// @return true when the tile is unclaimed or already owned by
+  ///   `client`
+  [[nodiscard]] bool tileAvailable(TileId tile, std::uint32_t client) const;
+
+  /// Residual instruction memory of a tile.
+  /// @param tile the tile to query
+  /// @return capacity minus committed instruction bytes (0 when full)
+  [[nodiscard]] std::uint32_t freeInstrBytes(TileId tile) const;
+  /// Residual data memory of a tile.
+  /// @param tile the tile to query
+  /// @return capacity minus committed data bytes (0 when full)
+  [[nodiscard]] std::uint32_t freeDataBytes(TileId tile) const;
+
+  /// Commit a reservation and claim the tile for `client`.
+  /// @param tile the tile to reserve on
+  /// @param client the claiming client id (not kNoClient)
+  /// @param loadCycles processor cycles per iteration to add
+  /// @param instrBytes instruction memory to add
+  /// @param dataBytes data memory to add
+  /// @throws Error when the tile is owned by a different client or the
+  ///   reservation exceeds the residual memory
+  void commitTile(TileId tile, std::uint32_t client, std::uint64_t loadCycles,
+                  std::uint32_t instrBytes, std::uint32_t dataBytes);
+
+  /// Per-tile committed reservations.
+  /// @return one TileBudget per tile, indexed by TileId
+  [[nodiscard]] const std::vector<TileBudget>& tiles() const { return tiles_; }
+
+  // ------------------------------------------------------ interconnect
+
+  /// The NoC topology of the tracked architecture.
+  /// @return the topology
+  /// @throws Error when the architecture has no NoC interconnect
+  [[nodiscard]] const NocTopology& nocTopology() const;
+
+  /// Reserve SDM wires on every link of a route.
+  /// @param route the links of the connection's XY route
+  /// @param wires wires to claim on each link
+  /// @return true on success; false (and nothing committed) when any
+  ///   link lacks capacity
+  [[nodiscard]] bool reserveNocWires(const std::vector<LinkId>& route, std::uint32_t wires);
+
+  /// SDM wires committed on a link.
+  /// @param link the link to query
+  /// @return the committed wire count
+  [[nodiscard]] std::uint32_t usedWires(LinkId link) const;
+
+  /// Claim the next dedicated FSL link; indices are unique across the
+  /// whole workload, matching the generated point-to-point hardware.
+  /// @return the claimed link index
+  [[nodiscard]] std::uint32_t allocateFslLink();
+
+  /// FSL links claimed so far.
+  /// @return the number of allocated links
+  [[nodiscard]] std::uint32_t fslLinksUsed() const { return nextFslIndex_; }
+
+ private:
+  const Architecture* arch_ = nullptr;
+  std::vector<TileBudget> tiles_;
+  std::optional<NocTopology> topology_;
+  std::vector<std::uint32_t> usedWires_;  // per NoC link
+  std::uint32_t nextFslIndex_ = 0;
+};
+
+}  // namespace mamps::platform

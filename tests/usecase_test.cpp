@@ -1,0 +1,227 @@
+// Tests for the multi-application use-case registry: registry
+// integrity, end-to-end co-mapping of every use case (all constraints
+// met on ONE shared platform), the MCR-vs-state-space cross-check of
+// the per-application guarantees, the pinned MJPEG standalone rational,
+// workload design-point sweeps through the DSE engine, and the
+// composition check that each co-mapped application's simulated
+// execution on the shared platform respects its analyzed guarantee.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/suite/usecases.hpp"
+#include "mamps/generator.hpp"
+#include "mapping/dse.hpp"
+#include "platform/arch_template.hpp"
+#include "sim/platform_sim.hpp"
+
+namespace mamps::suite {
+namespace {
+
+using mapping::DseOptions;
+using mapping::DseResult;
+using mapping::WorkloadResult;
+using platform::TileId;
+
+// ---------------------------------------------------------------- Registry
+
+TEST(UseCaseRegistryTest, RegistryIsStableAndValid) {
+  const auto useCases = builtinUseCases();
+  ASSERT_EQ(useCases.size(), 2u);
+  EXPECT_EQ(useCases[0].name, "mjpeg_h263_mesh");
+  EXPECT_EQ(useCases[1].name, "cd2dat_ring_hetero");
+  for (const UseCase& uc : useCases) {
+    SCOPED_TRACE(uc.name);
+    EXPECT_FALSE(uc.description.empty());
+    ASSERT_GE(uc.apps.size(), 2u);
+    for (const UseCaseApp& app : uc.apps) {
+      SCOPED_TRACE(app.name);
+      app.model.validate();
+      EXPECT_FALSE(app.model.throughputConstraint().isZero())
+          << "use-case applications must be throughput-constrained";
+    }
+  }
+}
+
+TEST(UseCaseRegistryTest, FindUseCaseByName) {
+  EXPECT_EQ(findUseCase("cd2dat_ring_hetero").name, "cd2dat_ring_hetero");
+  EXPECT_THROW((void)findUseCase("nope"), Error);
+}
+
+TEST(UseCaseRegistryTest, WorkloadOptionsCarryPerAppKnobsAndPriorities) {
+  const UseCase uc = findUseCase("cd2dat_ring_hetero");
+  const mapping::WorkloadOptions options = useCaseWorkloadOptions(uc);
+  ASSERT_EQ(options.appOptions.size(), uc.apps.size());
+  ASSERT_EQ(options.priorities.size(), uc.apps.size());
+  EXPECT_EQ(options.priorities[0], 1);  // cd2dat maps first
+  EXPECT_EQ(options.appOptions[0].maxTiles, 2u);
+}
+
+// ----------------------------------------------------------- Pinned MJPEG
+
+TEST(UseCaseFlowTest, MjpegStandalonePinIsUnchanged) {
+  // The use case embeds the case-study decoder with the worked-example
+  // calibration; standalone on the 2-tile FSL platform the single code
+  // path (mapApplication == one-app mapWorkload) must still produce the
+  // pinned rational of docs/throughput.md.
+  const UseCase uc = findUseCase("mjpeg_h263_mesh");
+  platform::TemplateRequest request;
+  request.tileCount = 2;
+  const auto arch = platform::generateFromTemplate(request);
+  const auto result = mapping::mapApplication(uc.apps[0].model, arch, {});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->throughput.iterationsPerCycle, Rational(1, 1'236'968));
+}
+
+// ------------------------------------------------- End-to-end, per use case
+
+TEST(UseCaseFlowTest, EveryUseCaseCoMapsWithAllConstraintsMet) {
+  for (const UseCase& uc : builtinUseCases()) {
+    SCOPED_TRACE(uc.name);
+    const WorkloadResult workload = mapUseCase(uc);
+    ASSERT_TRUE(workload.feasible());
+    EXPECT_TRUE(workload.meetsConstraints());
+    // Every guarantee runs on the MCR fast path.
+    std::set<TileId> claimed;
+    for (std::size_t i = 0; i < uc.apps.size(); ++i) {
+      SCOPED_TRACE(uc.apps[i].name);
+      const auto& result = *workload.apps[i];
+      EXPECT_TRUE(result.meetsConstraint);
+      EXPECT_EQ(result.throughput.engine, analysis::ThroughputEngine::Mcr);
+      // Tiles are granted exclusively: the co-mapped guarantees compose.
+      for (const TileId t : result.mapping.actorToTile) {
+        EXPECT_FALSE(claimed.contains(t)) << "tile " << t << " hosts two applications";
+      }
+      for (const TileId t : std::set<TileId>(result.mapping.actorToTile.begin(),
+                                             result.mapping.actorToTile.end())) {
+        claimed.insert(t);
+      }
+    }
+  }
+}
+
+TEST(UseCaseFlowTest, GuaranteesCrossCheckedAgainstStateSpace) {
+  // The per-application MCR guarantees on the shared platform must be
+  // reproduced exactly by the state-space engine on the same
+  // binding-aware models.
+  for (const UseCase& uc : builtinUseCases()) {
+    const WorkloadResult workload = mapUseCase(uc);
+    ASSERT_TRUE(workload.feasible());
+    for (std::size_t i = 0; i < uc.apps.size(); ++i) {
+      SCOPED_TRACE(uc.name + "/" + uc.apps[i].name);
+      const auto& result = *workload.apps[i];
+      analysis::ThroughputOptions stateSpace;
+      stateSpace.engine = analysis::ThroughputEngine::StateSpace;
+      const auto reference =
+          analysis::computeThroughput(result.model.graph, result.model.resources, stateSpace);
+      ASSERT_TRUE(reference.ok());
+      EXPECT_EQ(reference.iterationsPerCycle, result.throughput.iterationsPerCycle);
+    }
+  }
+}
+
+TEST(UseCaseFlowTest, CoMappedGuaranteesHoldInSimulationOnTheSharedPlatform) {
+  // Composition at execution level: each co-mapped application,
+  // simulated on the shared platform with its own tiles and links, must
+  // sustain at least its analyzed guarantee (tiles are exclusive and
+  // SDM wires dedicated, so the co-runner cannot slow it down).
+  const UseCase uc = findUseCase("cd2dat_ring_hetero");
+  const auto arch = platform::generateFromTemplate(uc.platform);
+  const WorkloadResult workload = mapUseCase(uc);
+  ASSERT_TRUE(workload.feasible());
+  for (std::size_t i = 0; i < uc.apps.size(); ++i) {
+    SCOPED_TRACE(uc.apps[i].name);
+    const auto& result = *workload.apps[i];
+    sim::PlatformSim simulator(uc.apps[i].model, arch, result.mapping);
+    sim::SimOptions options;
+    options.warmupIterations = 2;
+    options.measureIterations = 16;
+    const sim::SimResult sim = simulator.run(options);
+    ASSERT_TRUE(sim.ok());
+    EXPECT_GE(sim.iterationsPerCycle(),
+              result.throughput.iterationsPerCycle.toDouble() * (1 - 1e-9));
+  }
+}
+
+TEST(UseCaseFlowTest, UseCaseProjectsGenerateForEveryApplication) {
+  // The generated-platform path accepts co-mapped applications: each
+  // application of a use case yields a complete MAMPS project against
+  // the shared architecture.
+  const UseCase uc = findUseCase("cd2dat_ring_hetero");
+  const auto arch = platform::generateFromTemplate(uc.platform);
+  const WorkloadResult workload = mapUseCase(uc);
+  ASSERT_TRUE(workload.feasible());
+  for (std::size_t i = 0; i < uc.apps.size(); ++i) {
+    SCOPED_TRACE(uc.apps[i].name);
+    const gen::PlatformProject project =
+        gen::generatePlatform(uc.apps[i].model, arch, workload.apps[i]->mapping);
+    EXPECT_TRUE(project.files.contains("hw/system.mhs"));
+    EXPECT_TRUE(project.files.contains("MANIFEST.txt"));
+  }
+}
+
+// -------------------------------------------------------------- DSE sweeps
+
+TEST(UseCaseSweepTest, WorkloadPointsSweepDeterministically) {
+  const UseCase uc = findUseCase("mjpeg_h263_mesh");
+  const UseCaseSweep sweep = useCaseDesignPoints(uc);
+  ASSERT_EQ(sweep.points.size(), 2u);
+  EXPECT_EQ(sweep.points[0].label, "mjpeg_h263_mesh/12t_nocMesh");
+  EXPECT_EQ(sweep.points[1].label, "mjpeg_h263_mesh/12t_nocMesh_ca");
+
+  DseOptions serial;
+  serial.threads = 1;
+  const DseResult serialRun = mapping::exploreDesignSpace(sweep.apps, sweep.points, serial);
+  DseOptions parallel;
+  parallel.threads = 4;
+  const DseResult parallelRun = mapping::exploreDesignSpace(sweep.apps, sweep.points, parallel);
+  ASSERT_EQ(serialRun.points.size(), parallelRun.points.size());
+  for (std::size_t p = 0; p < serialRun.points.size(); ++p) {
+    SCOPED_TRACE(serialRun.points[p].label);
+    ASSERT_TRUE(serialRun.points[p].workload.has_value());
+    ASSERT_TRUE(parallelRun.points[p].workload.has_value());
+    ASSERT_EQ(serialRun.points[p].feasible(), parallelRun.points[p].feasible());
+    const WorkloadResult& a = *serialRun.points[p].workload;
+    const WorkloadResult& b = *parallelRun.points[p].workload;
+    ASSERT_EQ(a.apps.size(), b.apps.size());
+    for (std::size_t i = 0; i < a.apps.size(); ++i) {
+      ASSERT_EQ(a.apps[i].has_value(), b.apps[i].has_value());
+      if (!a.apps[i]) {
+        continue;
+      }
+      EXPECT_EQ(a.apps[i]->throughput.iterationsPerCycle,
+                b.apps[i]->throughput.iterationsPerCycle);
+      EXPECT_EQ(a.apps[i]->mapping.actorToTile, b.apps[i]->mapping.actorToTile);
+    }
+  }
+}
+
+TEST(UseCaseSweepTest, WorkloadPointsGetAutoLabelsAndValidation) {
+  const UseCase uc = findUseCase("cd2dat_ring_hetero");
+  UseCaseSweep sweep = useCaseDesignPoints(uc);
+  sweep.points[0].label.clear();
+  sweep.points.resize(1);
+  const DseResult run = mapping::exploreDesignSpace(sweep.apps, sweep.points, {});
+  EXPECT_EQ(run.points[0].label, "4t+1ip_fsl_wl2");
+
+  // Out-of-range workload indices are rejected.
+  sweep.points[0].workloadApps = {0, 7};
+  EXPECT_THROW((void)mapping::exploreDesignSpace(sweep.apps, sweep.points, {}), ModelError);
+}
+
+TEST(UseCaseSweepTest, SingleAppOverloadStillMapsPlainPoints) {
+  // The legacy single-application sweep is the degenerate case of the
+  // workload sweep: a point without workloadApps maps the sweep's
+  // application with the point's own options.
+  const UseCase uc = findUseCase("mjpeg_h263_mesh");
+  mapping::DesignPoint point;
+  point.platform.tileCount = 2;
+  const DseResult run = mapping::exploreDesignSpace(uc.apps[0].model, {point}, {});
+  ASSERT_EQ(run.points.size(), 1u);
+  ASSERT_TRUE(run.points[0].feasible());
+  EXPECT_FALSE(run.points[0].workload.has_value());
+  EXPECT_EQ(run.points[0].mapping->throughput.iterationsPerCycle, Rational(1, 1'236'968));
+}
+
+}  // namespace
+}  // namespace mamps::suite
