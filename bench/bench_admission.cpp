@@ -1,0 +1,101 @@
+// Online admission-control churn: seeded arrival/departure traces of
+// the scenario-suite applications against one live shared platform
+// (the 12-tile SDM mesh and the heterogeneous FSL preset). Each trace
+// runs twice on the same controller: the first pass populates the plan
+// cache (decisions mix cold full-mapping runs and replays), the second
+// replays the identical event stream fully warm — the steady-state
+// serving latency. Prints one JSON object to stdout; the trajectory at
+// ../BENCH_admission.json records these numbers across PRs. Exits
+// non-zero when a trace fails budget conservation (the drained budget
+// must be bit-identical to pristine), the warm pass misses the plan
+// cache, or the warm p99 decision latency reaches 1 ms.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/suite/churn.hpp"
+#include "platform/arch_template.hpp"
+
+using namespace mamps;
+
+namespace {
+
+double percentileMs(std::vector<double> seconds, double p) {
+  if (seconds.empty()) {
+    return 0.0;
+  }
+  std::sort(seconds.begin(), seconds.end());
+  const auto rank = static_cast<std::size_t>(p * static_cast<double>(seconds.size() - 1) + 0.5);
+  return seconds[rank] * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  struct Platform {
+    const char* name;
+    platform::TemplateRequest request;
+  };
+  const Platform platforms[] = {
+      {"mesh12_noc", platform::largeMeshPreset(12)},
+      {"hetero4_fsl", platform::heterogeneousPreset(4, {"accel"})},
+  };
+
+  const suite::ChurnWorkload workload = suite::suiteChurnWorkload();
+  suite::ChurnOptions options;
+  options.seed = 42;
+  options.events = 1000;
+
+  bool healthy = true;
+  std::string rows;
+  for (const Platform& p : platforms) {
+    const platform::Architecture arch = platform::generateFromTemplate(p.request);
+    mapping::AdmissionController controller(arch);
+
+    // Pass 1 populates the plan cache; pass 2 replays the identical
+    // seeded event stream fully warm (the controller drains between
+    // passes, so the residual-state sequence repeats exactly).
+    const suite::ChurnResult cold = suite::runChurnTrace(controller, workload, options);
+    const suite::ChurnResult warm = suite::runChurnTrace(controller, workload, options);
+
+    if (!cold.pristineAfterDrain || !warm.pristineAfterDrain) {
+      healthy = false;  // a leak: churn did not conserve the budget
+    }
+    if (warm.stats.planCacheHits != cold.stats.planCacheHits + warm.admitSeconds.size()) {
+      healthy = false;  // the warm pass must be replays end to end
+    }
+    const double warmP99 = percentileMs(warm.admitSeconds, 0.99);
+    if (warmP99 >= 1.0) {
+      healthy = false;  // the sub-millisecond admission story
+    }
+
+    char row[640];
+    std::snprintf(row, sizeof row,
+                  "    {\"platform\": \"%s\", \"events_per_pass\": %zu, "
+                  "\"arrivals\": %zu, \"admitted\": %zu, \"rejected\": %zu, "
+                  "\"cold_plan_cache_hits\": %zu, "
+                  "\"cold_p50_ms\": %.4f, \"cold_p99_ms\": %.4f, "
+                  "\"warm_p50_ms\": %.4f, \"warm_p99_ms\": %.4f, "
+                  "\"pristine_after_drain\": %s}",
+                  p.name, options.events, cold.admitSeconds.size(),
+                  static_cast<std::size_t>(cold.stats.admitted),
+                  static_cast<std::size_t>(cold.stats.rejected),
+                  static_cast<std::size_t>(cold.stats.planCacheHits),
+                  percentileMs(cold.admitSeconds, 0.50), percentileMs(cold.admitSeconds, 0.99),
+                  percentileMs(warm.admitSeconds, 0.50), warmP99,
+                  cold.pristineAfterDrain && warm.pristineAfterDrain ? "true" : "false");
+    rows += rows.empty() ? "" : ",\n";
+    rows += row;
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"bench_admission\",\n");
+  std::printf(
+      "  \"workload\": \"seeded admission/departure churn of the scenario suite on one live "
+      "platform, cold then warm pass\",\n");
+  std::printf("  \"platforms\": [\n%s\n  ],\n", rows.c_str());
+  std::printf("  \"healthy\": %s\n", healthy ? "true" : "false");
+  std::printf("}\n");
+  return healthy ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+#include "apps/suite/churn.hpp"
+
+#include "apps/suite/suite.hpp"
+#include "support/rng.hpp"
+
+namespace mamps::suite {
+
+ChurnWorkload suiteChurnWorkload(std::uint32_t maxTiles) {
+  ChurnWorkload workload;
+  for (Scenario& scenario : builtinScenarios()) {
+    workload.names.push_back(scenario.name);
+    workload.models.push_back(std::move(scenario.model));
+    mapping::MappingOptions options = scenario.options;
+    options.maxTiles = maxTiles;
+    workload.options.push_back(options);
+  }
+  // Caches last: they hold pointers into the (now stable) deque slots.
+  for (const sdf::ApplicationModel& model : workload.models) {
+    workload.caches.push_back(mapping::prepareApplication(model));
+  }
+  return workload;
+}
+
+ChurnResult runChurnTrace(mapping::AdmissionController& controller,
+                          const ChurnWorkload& workload, const ChurnOptions& options) {
+  if (workload.caches.empty()) {
+    throw Error("runChurnTrace: empty workload");
+  }
+  Rng rng(options.seed);
+  ChurnResult result;
+  std::vector<mapping::ClientId> residents = controller.residentIds();
+
+  const auto departOne = [&](std::size_t pick) {
+    ChurnEvent event;
+    event.kind = ChurnEvent::Kind::Departure;
+    event.client = residents[pick];
+    controller.depart(residents[pick]);
+    residents.erase(residents.begin() + static_cast<std::ptrdiff_t>(pick));
+    result.trace.push_back(event);
+  };
+
+  for (std::size_t i = 0; i < options.events; ++i) {
+    if (!residents.empty() && rng.chance(options.departChance)) {
+      departOne(static_cast<std::size_t>(rng.range(0, residents.size() - 1)));
+      continue;
+    }
+    ChurnEvent event;
+    event.appIndex = static_cast<std::size_t>(rng.range(0, workload.caches.size() - 1));
+    const mapping::AdmissionDecision decision =
+        controller.admit(workload.caches[event.appIndex], workload.options[event.appIndex]);
+    event.client = decision.client;
+    event.admitted = decision.admitted();
+    event.planCacheHit = decision.planCacheHit;
+    event.seconds = decision.seconds;
+    result.admitSeconds.push_back(decision.seconds);
+    if (decision.admitted()) {
+      residents.push_back(*decision.client);
+      result.clientApp.emplace(*decision.client, event.appIndex);
+    }
+    result.trace.push_back(event);
+  }
+
+  // Final drain: everyone leaves, and the budget must be pristine again
+  // — the conservation property this whole subsystem exists to keep.
+  while (!residents.empty()) {
+    departOne(residents.size() - 1);
+  }
+  result.pristineAfterDrain = controller.pristine();
+  result.stats = controller.stats();
+  return result;
+}
+
+}  // namespace mamps::suite

@@ -1,0 +1,125 @@
+// Seeded arrival/departure churn traces for online admission control.
+//
+// The scenario suite gives us four applications with calibrated
+// throughput constraints; this driver turns them into a serving
+// workload: a seeded stream of arrivals (a random suite application
+// asks to be admitted onto the shared platform) and departures (a
+// random resident leaves and its resources are released). Feeding such
+// a trace through mapping::AdmissionController exercises exactly the
+// lifecycle the batch flow never does — thousands of interleaved
+// commit/release cycles against ONE live platform::ResourceBudget —
+// and makes the leak class this PR fixes observable: after the final
+// drain the budget must be bit-identical to pristine, or something
+// (a tile share, an SDM wire, an FSL link) leaked on the way.
+//
+// tests/admission_test.cpp runs seeded traces on the largeMeshPreset
+// and heterogeneousPreset platforms and asserts budget conservation
+// plus guarantee stability for every resident;
+// bench/bench_admission.cpp reports the decision-latency distribution
+// (p50/p99) over the same traces.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapping/admission.hpp"
+#include "sdf/app_model.hpp"
+
+namespace mamps::suite {
+
+/// The application mix a churn trace draws its arrivals from. The
+/// models live in a std::deque so AppAnalysisCache::app pointers stay
+/// valid as the struct moves around (caches reference models by
+/// address).
+struct ChurnWorkload {
+  /// Application names, aligned with `caches` ("h263", ...).
+  std::vector<std::string> names;
+  /// The owning storage of the application models.
+  std::deque<sdf::ApplicationModel> models;
+  /// One prepared cache per model, aligned with `names`.
+  std::vector<mapping::AppAnalysisCache> caches;
+  /// Calibrated per-application mapping knobs, aligned with `names`.
+  std::vector<mapping::MappingOptions> options;
+};
+
+/// The four suite scenarios (h263, cd2dat, synthetic_fork,
+/// synthetic_ring) as a churn mix, each with its calibrated scenario
+/// options plus a footprint cap so several instances fit side by side.
+/// @param maxTiles per-application tile cap (0 = no cap); the co-mapping
+///   use cases established 2 as the value that leaves room for
+///   neighbours
+/// @return the workload (self-contained; safe to move)
+[[nodiscard]] ChurnWorkload suiteChurnWorkload(std::uint32_t maxTiles = 2);
+
+/// Tuning knobs for runChurnTrace().
+struct ChurnOptions {
+  /// Seed of the event stream; the trace is a pure function of the seed
+  /// and the workload.
+  std::uint64_t seed = 1;
+  /// Number of arrival/departure events to draw (the final drain adds
+  /// its departures on top).
+  std::size_t events = 1000;
+  /// Probability an event is a departure when residents exist
+  /// (arrivals otherwise).
+  double departChance = 0.45;
+};
+
+/// One event of a churn trace.
+struct ChurnEvent {
+  /// What happened.
+  enum class Kind {
+    Arrival,   ///< an application asked to be admitted
+    Departure  ///< a resident left (including the final drain)
+  };
+  /// What happened.
+  Kind kind = Kind::Arrival;
+  /// Index into the workload of the arriving application (arrivals
+  /// only).
+  std::size_t appIndex = 0;
+  /// The client: the admitted id for successful arrivals, the departing
+  /// id for departures; unset for rejected arrivals.
+  std::optional<mapping::ClientId> client;
+  /// Was the arrival admitted? (false for departures)
+  bool admitted = false;
+  /// Was the decision replayed from the plan cache? (arrivals only)
+  bool planCacheHit = false;
+  /// Decision latency in seconds (arrivals only).
+  double seconds = 0.0;
+};
+
+/// Outcome of one churn trace.
+struct ChurnResult {
+  /// Every event, in order (drawn events plus the final drain).
+  std::vector<ChurnEvent> trace;
+  /// Which workload application each admitted client was, over the
+  /// whole trace (departed clients included) — lets callers check a
+  /// resident's guarantee against its application's pinned value.
+  std::map<mapping::ClientId, std::size_t> clientApp;
+  /// Controller counters at the end of the trace.
+  mapping::AdmissionStats stats;
+  /// Per-arrival decision latencies, in seconds, in arrival order.
+  std::vector<double> admitSeconds;
+  /// Did the budget return to bit-identical pristine after the final
+  /// drain? (AdmissionController::pristine() — the conservation check)
+  bool pristineAfterDrain = false;
+};
+
+/// Run a seeded churn trace against `controller`: draw
+/// `options.events` arrival/departure events from `workload`, then
+/// drain every remaining resident and record whether the live budget
+/// returned to pristine. The controller is left drained (empty) so
+/// traces can be run back to back on one controller.
+/// @param controller the live controller (its platform decides who fits)
+/// @param workload the application mix; must outlive the controller's
+///   plan cache (decisions referencing its models may be replayed later)
+/// @param options trace knobs
+/// @return the trace, latency samples, and the conservation verdict
+[[nodiscard]] ChurnResult runChurnTrace(mapping::AdmissionController& controller,
+                                        const ChurnWorkload& workload,
+                                        const ChurnOptions& options = {});
+
+}  // namespace mamps::suite

@@ -1,0 +1,205 @@
+#include "mapping/admission.hpp"
+
+#include <chrono>
+
+#include "mapping/binding.hpp"
+#include "support/strings.hpp"
+
+namespace mamps::mapping {
+
+using platform::ResourceBudget;
+using platform::TileBudget;
+using platform::TileId;
+using sdf::ActorId;
+
+AdmissionController::AdmissionController(const platform::Architecture& arch,
+                                         const AdmissionOptions& options)
+    : arch_(&arch), options_(options), budget_(arch) {
+  arch.validate();
+  budget_.commitBaseline(runtimeLayerInstrBytes(), runtimeLayerDataBytes());
+  pristine_ = budget_;
+}
+
+std::string AdmissionController::decisionKey(const AppAnalysisCache& app,
+                                             const MappingOptions& options) const {
+  // Everything the mapping step (mapOntoBudget) reads must be covered:
+  // the application (the cache is a pure function of the model), the
+  // mapping knobs, and — from the live budget — per-tile availability
+  // and committed load/memory, per-link SDM wires, and the live FSL
+  // link count. Tiles claimed by other clients are collapsed to a
+  // marker: binding skips them before reading any of their values, and
+  // FSL link *indices* are re-allocated on replay, so neither affects
+  // the decision.
+  std::string key = strprintf("app=%p|o=%a,%a,%a,%a,%d,%u,%u,%u,%d,%u|",
+                              static_cast<const void*>(app.app), options.weights.processing,
+                              options.weights.memory, options.weights.communication,
+                              options.weights.latency, static_cast<int>(options.serialization),
+                              options.nocWiresPerConnection, options.bufferGrowthRounds,
+                              options.initialBufferScale,
+                              options.incrementalAnalysis ? 1 : 0, options.maxTiles);
+  for (const TileBudget& tile : budget_.tiles()) {
+    if (tile.owner != TileBudget::kNoClient) {
+      key += "X;";  // claimed: unavailable to a fresh client
+    } else {
+      key += strprintf("%llu,%u,%u;", static_cast<unsigned long long>(tile.loadCycles),
+                       tile.instrBytes, tile.dataBytes);
+    }
+  }
+  if (arch_->interconnect() == platform::InterconnectKind::NocMesh) {
+    key += "|w";
+    const std::size_t links = budget_.nocTopology().linkCount();
+    for (platform::LinkId link = 0; link < links; ++link) {
+      key += strprintf("%u,", budget_.usedWires(link));
+    }
+  } else {
+    key += strprintf("|f%u", budget_.fslLinksUsed());
+  }
+  return key;
+}
+
+bool AdmissionController::replayAdmission(const CachedDecision& cached,
+                                          const AppAnalysisCache& app, ClientId client,
+                                          AdmissionDecision& out) {
+  const sdf::Graph& g = app.app->graph();
+  MappingResult result = cached.plan;
+  ResourceBudget work = budget_;
+  try {
+    for (ActorId a = 0; a < g.actorCount(); ++a) {
+      const TileId tile = result.mapping.actorToTile[a];
+      const auto* impl = app.app->implementationFor(a, arch_->tile(tile).processorType);
+      if (impl == nullptr) {
+        return false;
+      }
+      work.commitTile(tile, client, impl->wcetCycles * app.repetition[a], impl->instrMemBytes,
+                      impl->dataMemBytes);
+    }
+    for (ChannelRoute& route : result.mapping.channelRoutes) {
+      if (!route.interTile) {
+        continue;
+      }
+      if (arch_->interconnect() == platform::InterconnectKind::Fsl) {
+        // Link indices are budget state, not plan state: take fresh
+        // ones from the free-list so provenance stays exact.
+        route.fslIndex = work.allocateFslLink(client);
+      } else if (!work.reserveNocWires(route.route, route.wires, client)) {
+        return false;
+      }
+    }
+  } catch (const Error&) {
+    return false;  // signature mismatch bug: fall back to the cold path
+  }
+  // The per-tile accounting reflects the budget *now*, not at plan
+  // time: other residents' reservations may differ even though the
+  // decision (which only reads unclaimed tiles) is identical.
+  for (TileId t = 0; t < arch_->tileCount(); ++t) {
+    const TileBudget& committed = work.tiles()[t];
+    result.usage[t].loadCycles = committed.loadCycles;
+    result.usage[t].instrBytes = committed.instrBytes;
+    result.usage[t].dataBytes = committed.dataBytes;
+  }
+  budget_ = std::move(work);
+  out.client = client;
+  out.result = std::move(result);
+  residents_.emplace(client, *out.result);
+  return true;
+}
+
+AdmissionDecision AdmissionController::admit(const AppAnalysisCache& app,
+                                             const MappingOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  AdmissionDecision decision;
+  ++stats_.arrivals;
+  const ClientId client = nextClient_++;
+
+  std::string key;
+  const CachedDecision* cached = nullptr;
+  if (options_.planCache) {
+    key = decisionKey(app, options);
+    const auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      cached = &it->second;
+    }
+  }
+
+  bool decided = false;
+  if (cached != nullptr) {
+    if (!cached->admitted) {
+      decision.reason = cached->reason;
+      decided = true;
+    } else {
+      decided = replayAdmission(*cached, app, client, decision);
+    }
+    decision.planCacheHit = decided;
+  }
+
+  if (!decided) {
+    // Cold path: the complete mapping step, trialled on a copy of the
+    // live budget so a rejection (infeasible OR constraint-missing)
+    // commits nothing.
+    ResourceBudget work = budget_;
+    auto result = mapOntoBudget(app, *arch_, options, work, client);
+    if (!result.has_value()) {
+      decision.reason = "no feasible mapping on the residual platform";
+    } else if (options_.requireConstraint && !result->meetsConstraint) {
+      decision.reason = "throughput guarantee does not compose with the residents";
+    } else {
+      budget_ = std::move(work);
+      decision.client = client;
+      decision.result = std::move(result);
+      residents_.emplace(client, *decision.result);
+    }
+    if (options_.planCache) {
+      CachedDecision memo;
+      memo.admitted = decision.admitted();
+      if (memo.admitted) {
+        memo.plan = *decision.result;
+      } else {
+        memo.reason = decision.reason;
+      }
+      plans_.emplace(std::move(key), std::move(memo));
+    }
+  }
+
+  if (decision.admitted()) {
+    ++stats_.admitted;
+  } else {
+    ++stats_.rejected;
+  }
+  if (decision.planCacheHit) {
+    ++stats_.planCacheHits;
+  }
+  decision.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return decision;
+}
+
+void AdmissionController::depart(ClientId client) {
+  const auto it = residents_.find(client);
+  if (it == residents_.end()) {
+    throw Error("AdmissionController::depart: client " + std::to_string(client) +
+                " is not resident");
+  }
+  budget_.release(client);
+  residents_.erase(it);
+  ++stats_.departures;
+}
+
+std::vector<ClientId> AdmissionController::residentIds() const {
+  std::vector<ClientId> ids;
+  ids.reserve(residents_.size());
+  for (const auto& [client, result] : residents_) {
+    ids.push_back(client);
+  }
+  return ids;
+}
+
+const MappingResult& AdmissionController::resident(ClientId client) const {
+  const auto it = residents_.find(client);
+  if (it == residents_.end()) {
+    throw Error("AdmissionController::resident: client " + std::to_string(client) +
+                " is not resident");
+  }
+  return it->second;
+}
+
+}  // namespace mamps::mapping

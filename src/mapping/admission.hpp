@@ -1,0 +1,187 @@
+// Online admission control: serve a churn of applications on ONE live
+// shared platform.
+//
+// mapping::mapWorkload is batch-only — it maps a fixed workload once.
+// The serving story of the paper's runtime (many throughput-constrained
+// streams sharing one MPSoC, each arriving and departing independently,
+// in the shape of a per-client streaming server) needs the online
+// counterpart: AdmissionController holds the platform's live
+// platform::ResourceBudget and, per arriving client, runs the complete
+// mapping step (mapping::mapOntoBudget) as a trial on a copy. A client
+// is *admitted* only when it maps AND meets its own throughput
+// constraint on the residual — then the copy becomes the live budget —
+// and *rejected* otherwise, leaving the live budget untouched. A
+// departing client is torn down exactly through the budget's per-client
+// provenance (platform::ResourceBudget::release), so admissions and
+// departures can interleave forever without leaking a tile, wire, or
+// FSL link: after full teardown the budget is bit-identical to pristine.
+//
+// Guarantees compose under churn for the same reason they compose in a
+// batch workload: every commitment is exclusive, so no admission or
+// departure can perturb a resident client's analyzed schedule — a
+// resident's guarantee is exactly as valid the day it departs as the
+// moment it was admitted (pinned by tests/admission_test.cpp).
+//
+// Decision latency: admissions are dominated by the mapping step
+// (binding + scheduling + buffer growth + MCR analysis — milliseconds
+// for the scenario-suite applications). Under churn the same residual
+// states recur, so the controller memoizes each decision in a *plan
+// cache* keyed by (application, options, canonical residual signature):
+// a hit replays the recorded mapping by committing its reservations
+// directly (microseconds), bypassing re-binding and re-analysis. The
+// signature covers every budget field the mapping step reads, so a
+// replayed decision is bit-identical to recomputing it
+// (tests/admission_test.cpp pins this); bench/bench_admission.cpp
+// reports the resulting p50/p99 decision latency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mapping/workload.hpp"
+#include "platform/resource_budget.hpp"
+
+namespace mamps::mapping {
+
+/// Identifies one admitted client (stream instance) of the controller.
+using ClientId = std::uint32_t;
+
+/// Tuning knobs for AdmissionController.
+struct AdmissionOptions {
+  /// Reject applications that map but miss their own throughput
+  /// constraint (a guarantee that does not compose is not a guarantee).
+  /// Disabling admits any feasible mapping.
+  bool requireConstraint = true;
+  /// Memoize decisions per (application, options, residual signature)
+  /// and replay them on repeat states. Replayed decisions are
+  /// bit-identical to recomputed ones; disabling exists for the cold
+  /// baseline of bench/bench_admission.cpp.
+  bool planCache = true;
+};
+
+/// Outcome of one admission attempt.
+struct AdmissionDecision {
+  /// The admitted client's id (release it with depart()); nullopt when
+  /// the application was rejected.
+  std::optional<ClientId> client;
+  /// The admitted mapping and its throughput guarantee; nullopt when
+  /// rejected.
+  std::optional<MappingResult> result;
+  /// Wall time of this decision, in seconds.
+  double seconds = 0.0;
+  /// True when the decision was replayed from the plan cache.
+  bool planCacheHit = false;
+  /// Why the application was rejected (empty when admitted).
+  std::string reason;
+
+  /// Was the application admitted?
+  /// @return true when `client` is set
+  [[nodiscard]] bool admitted() const { return client.has_value(); }
+};
+
+/// Lifetime counters of one controller.
+struct AdmissionStats {
+  std::size_t arrivals = 0;      ///< admit() calls
+  std::size_t admitted = 0;      ///< arrivals that were admitted
+  std::size_t rejected = 0;      ///< arrivals that were rejected
+  std::size_t departures = 0;    ///< depart() calls
+  std::size_t planCacheHits = 0; ///< decisions replayed from the cache
+};
+
+/// Online admission control against one live shared platform. See the
+/// header comment for semantics; not thread-safe (wrap externally to
+/// serve concurrent arrival streams).
+class AdmissionController {
+ public:
+  /// Start a controller over `arch` with the MAMPS runtime layer
+  /// committed as the platform baseline on every software tile.
+  /// @param arch the shared platform; must outlive the controller
+  /// @param options admission knobs
+  explicit AdmissionController(const platform::Architecture& arch,
+                               const AdmissionOptions& options = {});
+
+  /// Try to admit one application instance onto the live residual.
+  /// Trial-on-copy: the live budget advances only when the decision is
+  /// an admission. The cache (and its application model) must outlive
+  /// every decision that may be replayed from the plan cache.
+  /// @param app the prepared application (see prepareApplication)
+  /// @param options mapping knobs for this instance
+  /// @return the decision (client id + mapping when admitted)
+  [[nodiscard]] AdmissionDecision admit(const AppAnalysisCache& app,
+                                        const MappingOptions& options = {});
+
+  /// Tear down a resident client: every tile, SDM wire, and FSL link it
+  /// holds returns to the residual exactly.
+  /// @param client the departing client (from an admitted decision)
+  /// @throws Error when `client` is not resident (double-depart or
+  ///   unknown id)
+  void depart(ClientId client);
+
+  /// The live shared budget (capacity minus every resident's
+  /// reservations).
+  /// @return the budget
+  [[nodiscard]] const platform::ResourceBudget& budget() const { return budget_; }
+
+  /// The pristine reference: the budget as constructed (baseline only,
+  /// no clients). After every resident departs, budget() == this,
+  /// field for field.
+  /// @return the pristine budget
+  [[nodiscard]] const platform::ResourceBudget& pristineBudget() const { return pristine_; }
+
+  /// Has the live budget returned to pristine (no residents, nothing
+  /// leaked)?
+  /// @return budget() == pristineBudget()
+  [[nodiscard]] bool pristine() const { return budget_ == pristine_; }
+
+  /// Number of currently resident clients.
+  /// @return the resident count
+  [[nodiscard]] std::size_t residentCount() const { return residents_.size(); }
+
+  /// The resident clients, in ascending id order.
+  /// @return the ids of every resident
+  [[nodiscard]] std::vector<ClientId> residentIds() const;
+
+  /// A resident client's admitted mapping (the guarantee it was
+  /// admitted with).
+  /// @param client the resident to look up
+  /// @return the mapping result recorded at admission
+  /// @throws Error when `client` is not resident
+  [[nodiscard]] const MappingResult& resident(ClientId client) const;
+
+  /// Lifetime counters.
+  /// @return the stats
+  [[nodiscard]] const AdmissionStats& stats() const { return stats_; }
+
+ private:
+  /// One memoized decision: the full admitted mapping, or the rejection.
+  struct CachedDecision {
+    bool admitted = false;
+    MappingResult plan;  ///< meaningful only when admitted
+    std::string reason;  ///< meaningful only when rejected
+  };
+
+  /// Canonical signature of everything the mapping step reads from the
+  /// live budget, plus the application and options identities.
+  [[nodiscard]] std::string decisionKey(const AppAnalysisCache& app,
+                                        const MappingOptions& options) const;
+  /// Replay a memoized admission by committing its reservations against
+  /// the live budget. Returns false when the replayed commitments fail
+  /// validation (the caller then falls back to the cold path).
+  [[nodiscard]] bool replayAdmission(const CachedDecision& cached, const AppAnalysisCache& app,
+                                     ClientId client, AdmissionDecision& out);
+
+  const platform::Architecture* arch_ = nullptr;
+  AdmissionOptions options_{};
+  platform::ResourceBudget budget_;
+  platform::ResourceBudget pristine_;
+  ClientId nextClient_ = 0;
+  std::map<ClientId, MappingResult> residents_;
+  std::unordered_map<std::string, CachedDecision> plans_;
+  AdmissionStats stats_{};
+};
+
+}  // namespace mamps::mapping

@@ -16,17 +16,15 @@ using platform::TileId;
 using sdf::ActorId;
 using sdf::ChannelId;
 
-namespace {
-
-/// Assign interconnect resources to every inter-tile channel, committing
-/// them to `budget`. For the NoC this reserves SDM wires along the XY
-/// route (degrading the wire count when links fill up); for FSL every
-/// channel gets a dedicated link (indices unique across the workload).
-/// Returns false when a NoC connection cannot be routed at all; the
-/// budget is then partially committed, so callers trial a copy.
 bool routeChannels(const sdf::Graph& g, const platform::Architecture& arch,
                    const std::vector<TileId>& actorToTile, const MappingOptions& options,
-                   ResourceBudget& budget, std::vector<ChannelRoute>& routes) {
+                   ResourceBudget& budget, std::uint32_t client,
+                   std::vector<ChannelRoute>& routes) {
+  // All-or-nothing: allocate on a copy, commit only a complete success.
+  // The contract is load-bearing for callers that hold a long-lived
+  // budget (the admission controller's live platform state): a failed
+  // route must not corrupt it.
+  ResourceBudget trial = budget;
   routes.assign(g.channelCount(), {});
   for (ChannelId c = 0; c < g.channelCount(); ++c) {
     const sdf::Channel& channel = g.channel(c);
@@ -38,13 +36,16 @@ bool routeChannels(const sdf::Graph& g, const platform::Architecture& arch,
       continue;
     }
     if (arch.interconnect() == platform::InterconnectKind::Fsl) {
-      route.fslIndex = budget.allocateFslLink();
+      if (trial.fslLinksUsed() >= trial.fslLinkCapacity()) {
+        return false;  // the platform's FSL port budget is exhausted
+      }
+      route.fslIndex = trial.allocateFslLink(client);
       continue;
     }
-    route.route = budget.nocTopology().xyRoute(route.srcTile, route.dstTile);
+    route.route = trial.nocTopology().xyRoute(route.srcTile, route.dstTile);
     std::uint32_t wires = std::min(options.nocWiresPerConnection, arch.noc().wiresPerLink);
     wires = std::max<std::uint32_t>(wires, 1);
-    while (!budget.reserveNocWires(route.route, wires)) {
+    while (!trial.reserveNocWires(route.route, wires, client)) {
       if (wires == 1) {
         return false;  // the route is saturated
       }
@@ -52,8 +53,11 @@ bool routeChannels(const sdf::Graph& g, const platform::Architecture& arch,
     }
     route.wires = wires;
   }
+  budget = std::move(trial);
   return true;
 }
+
+namespace {
 
 /// Initial buffer distribution: conservative lower bounds scaled by the
 /// configured factor.
@@ -121,13 +125,12 @@ void patchCapacityTokens(const sdf::Graph& g, const Mapping& mapping, BindingAwa
   }
 }
 
-/// The complete mapping step for ONE application of a workload, on the
-/// residual of `budget`. On success the application's reservations are
-/// committed into `budget`; on failure the budget is untouched.
-std::optional<MappingResult> mapOneApp(const AppAnalysisCache& cache,
-                                       const platform::Architecture& arch,
-                                       const MappingOptions& options, ResourceBudget& budget,
-                                       std::uint32_t client) {
+}  // namespace
+
+std::optional<MappingResult> mapOntoBudget(const AppAnalysisCache& cache,
+                                           const platform::Architecture& arch,
+                                           const MappingOptions& options, ResourceBudget& budget,
+                                           std::uint32_t client) {
   const sdf::ApplicationModel& app = *cache.app;
   const sdf::Graph& g = app.graph();
   if (!cache.consistent || !cache.deadlockFree) {
@@ -138,13 +141,13 @@ std::optional<MappingResult> mapOneApp(const AppAnalysisCache& cache,
   ResourceBudget work = budget;
   const auto binding = bindActors(app, options, work, client);
   if (!binding) {
-    logWarning("mapWorkload: no feasible binding");
+    logWarning("mapOntoBudget: no feasible binding");
     return std::nullopt;
   }
 
   const auto schedules = buildStaticOrderSchedules(app, arch, binding->actorToTile);
   if (!schedules) {
-    logWarning("mapWorkload: schedule construction deadlocked");
+    logWarning("mapOntoBudget: schedule construction deadlocked");
     return std::nullopt;
   }
 
@@ -156,21 +159,19 @@ std::optional<MappingResult> mapOneApp(const AppAnalysisCache& cache,
 
   // Route with the requested SDM width; when a link saturates, retry the
   // whole allocation with a globally halved request so early connections
-  // do not starve later ones. Each attempt runs on a fresh copy of the
-  // post-binding budget so a failed attempt commits nothing.
+  // do not starve later ones. routeChannels is all-or-nothing, so a
+  // failed attempt leaves `work` untouched.
   {
     std::uint32_t wires = std::max<std::uint32_t>(1, options.nocWiresPerConnection);
     MappingOptions attempt = options;
     for (;;) {
       attempt.nocWiresPerConnection = wires;
-      ResourceBudget routed = work;
-      if (routeChannels(g, arch, binding->actorToTile, attempt, routed,
+      if (routeChannels(g, arch, binding->actorToTile, attempt, work, client,
                         result.mapping.channelRoutes)) {
-        work = std::move(routed);
         break;
       }
       if (wires == 1) {
-        logWarning("mapWorkload: NoC routing failed (saturated links)");
+        logWarning("mapOntoBudget: routing failed (saturated links or FSL capacity)");
         return std::nullopt;
       }
       wires /= 2;
@@ -184,7 +185,7 @@ std::optional<MappingResult> mapOneApp(const AppAnalysisCache& cache,
   for (ActorId a = 0; a < g.actorCount(); ++a) {
     const auto it = cache.wcetByType.find(arch.tile(binding->actorToTile[a]).processorType);
     if (it == cache.wcetByType.end() || it->second[a] == AppAnalysisCache::kNoWcet) {
-      throw ModelError("mapWorkload: actor " + g.actor(a).name +
+      throw ModelError("mapOntoBudget: actor " + g.actor(a).name +
                        " bound to a tile without an implementation");
     }
     wcet[a] = it->second[a];
@@ -234,8 +235,6 @@ std::optional<MappingResult> mapOneApp(const AppAnalysisCache& cache,
   return result;
 }
 
-}  // namespace
-
 std::size_t WorkloadResult::mappedCount() const {
   std::size_t n = 0;
   for (const auto& app : apps) {
@@ -284,7 +283,8 @@ WorkloadResult mapWorkload(std::span<const AppAnalysisCache> apps,
   for (const std::size_t i : order) {
     const MappingOptions& appOptions =
         options.appOptions.empty() ? options.options : options.appOptions[i];
-    out.apps[i] = mapOneApp(apps[i], arch, appOptions, budget, static_cast<std::uint32_t>(i));
+    out.apps[i] =
+        mapOntoBudget(apps[i], arch, appOptions, budget, static_cast<std::uint32_t>(i));
   }
 
   // Combined platform accounting straight from the final budget.

@@ -70,6 +70,50 @@ struct WorkloadResult {
   [[nodiscard]] bool meetsConstraints() const;
 };
 
+/// Assign interconnect resources to every inter-tile channel of a bound
+/// application, committing them to `budget` under `client`'s name. For
+/// the NoC this reserves SDM wires along each XY route (halving the
+/// per-connection request when links fill up); for FSL every inter-tile
+/// channel gets a dedicated link from the budget's capped free-list.
+/// All-or-nothing: the allocation is trialled on a copy internally, so
+/// on failure `budget` is untouched — callers may pass long-lived
+/// budgets (the admission controller's live platform state) directly.
+/// @param g the application graph
+/// @param arch the shared platform
+/// @param actorToTile the binding (actor -> tile)
+/// @param options mapping knobs (requested SDM wires per connection)
+/// @param budget the shared budget to commit into
+/// @param client the committing client id
+/// @param routes output: one ChannelRoute per channel
+/// @return true on success; false when a NoC connection cannot be
+///   routed at even one wire, or the FSL link capacity is exhausted
+[[nodiscard]] bool routeChannels(const sdf::Graph& g, const platform::Architecture& arch,
+                                 const std::vector<platform::TileId>& actorToTile,
+                                 const MappingOptions& options,
+                                 platform::ResourceBudget& budget, std::uint32_t client,
+                                 std::vector<ChannelRoute>& routes);
+
+/// The complete mapping step for ONE application on the residual of
+/// `budget`: bind, schedule, route, distribute buffers, analyze. On
+/// success the application's reservations are committed into `budget`
+/// under `client`'s name (release them with
+/// platform::ResourceBudget::release); on failure the budget is
+/// untouched. This is the code path shared by mapWorkload (one call per
+/// application, in priority order) and the online
+/// mapping::AdmissionController (one call per arriving client).
+/// @param cache the prepared application (see prepareApplication)
+/// @param arch the shared platform
+/// @param options mapping knobs for this application
+/// @param budget the shared budget; advanced only on success
+/// @param client the committing client id
+/// @return the mapping and its guarantee, or nullopt when the
+///   application cannot be mapped onto the residual
+[[nodiscard]] std::optional<MappingResult> mapOntoBudget(const AppAnalysisCache& cache,
+                                                         const platform::Architecture& arch,
+                                                         const MappingOptions& options,
+                                                         platform::ResourceBudget& budget,
+                                                         std::uint32_t client);
+
 /// Map a workload of prepared applications onto `arch`. Applications
 /// are mapped in priority order onto the residual resource budget; see
 /// the header comment for the composition and determinism contracts.

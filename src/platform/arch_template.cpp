@@ -45,6 +45,7 @@ Architecture generateFromTemplate(const TemplateRequest& request) {
     arch.noc().flowControl = true;
   } else {
     arch.fsl().fifoDepthWords = request.fslFifoDepthWords;
+    arch.fsl().maxLinks = request.fslMaxLinks;
   }
   arch.validate();
   return arch;

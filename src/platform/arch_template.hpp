@@ -35,6 +35,9 @@ struct TemplateRequest {
   std::uint32_t nocConnectionBufferWords = 4;
   /// FSL knobs (ignored for NoC).
   std::uint32_t fslFifoDepthWords = 16;
+  /// Platform-wide cap on live FSL links (0 = derive from the
+  /// per-tile port limit; see platform::FslConfig::maxLinks).
+  std::uint32_t fslMaxLinks = 0;
   /// Hardware IP tiles appended after the processor tiles; each entry
   /// names the IP's processor type (matching
   /// sdf::ActorImplementation::processorType, e.g. "accel"). IP tiles

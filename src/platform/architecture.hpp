@@ -64,8 +64,18 @@ enum class InterconnectKind { Fsl, NocMesh };
 
 /// Point-to-point FSL interconnect parameters ([15]).
 struct FslConfig {
+  /// MicroBlaze exposes at most 16 FSL master/slave port pairs per PE,
+  /// which bounds how many point-to-point links a tile can terminate —
+  /// and hence how many links a platform can instantiate in total.
+  static constexpr std::uint32_t kFslPortsPerTile = 16;
+
   std::uint32_t fifoDepthWords = 16;  ///< per-link FIFO capacity
   std::uint32_t latencyCycles = 1;    ///< word latency through the link
+  /// Maximum simultaneously live FSL links on the platform; 0 derives
+  /// the cap as kFslPortsPerTile x tileCount (every link consumes one
+  /// master port on its source and one slave port on its destination
+  /// tile). Enforced by platform::ResourceBudget::allocateFslLink.
+  std::uint32_t maxLinks = 0;
 };
 
 /// SDM mesh NoC parameters ([17] + the flow-control extension).

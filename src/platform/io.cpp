@@ -33,6 +33,7 @@ std::string architectureToXml(const Architecture& arch) {
     xml::Element& fe = root->addChild("fsl");
     fe.setAttribute("fifoDepth", std::to_string(arch.fsl().fifoDepthWords));
     fe.setAttribute("latency", std::to_string(arch.fsl().latencyCycles));
+    fe.setAttribute("maxLinks", std::to_string(arch.fsl().maxLinks));
   }
   return xml::Document(std::move(root)).toString();
 }
@@ -74,6 +75,8 @@ Architecture architectureFromString(const std::string& text) {
         static_cast<std::uint32_t>(parseU64(fe->attribute("fifoDepth").value_or("16")));
     arch.fsl().latencyCycles =
         static_cast<std::uint32_t>(parseU64(fe->attribute("latency").value_or("1")));
+    arch.fsl().maxLinks =
+        static_cast<std::uint32_t>(parseU64(fe->attribute("maxLinks").value_or("0")));
   }
   arch.validate();
   return arch;

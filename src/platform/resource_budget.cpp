@@ -1,5 +1,7 @@
 #include "platform/resource_budget.hpp"
 
+#include <algorithm>
+
 namespace mamps::platform {
 
 ResourceBudget::ResourceBudget(const Architecture& arch) : arch_(&arch) {
@@ -11,6 +13,21 @@ ResourceBudget::ResourceBudget(const Architecture& arch) : arch_(&arch) {
 }
 
 void ResourceBudget::commitBaseline(std::uint32_t instrBytes, std::uint32_t dataBytes) {
+  // Validate every software tile before committing to any: a rejected
+  // baseline must leave the budget untouched (all-or-nothing, matching
+  // commitTile's contract). The sums are widened to 64 bits so a
+  // baseline near UINT32_MAX cannot wrap past the capacity check.
+  for (TileId t = 0; t < tiles_.size(); ++t) {
+    if (arch_->tile(t).kind == TileKind::HardwareIp) {
+      continue;
+    }
+    const MemorySpec& capacity = arch_->tile(t).memory;
+    if (std::uint64_t{tiles_[t].instrBytes} + instrBytes > capacity.instrBytes ||
+        std::uint64_t{tiles_[t].dataBytes} + dataBytes > capacity.dataBytes) {
+      throw Error("ResourceBudget::commitBaseline: baseline exceeds the residual memory of tile " +
+                  arch_->tile(t).name);
+    }
+  }
   for (TileId t = 0; t < tiles_.size(); ++t) {
     if (arch_->tile(t).kind == TileKind::HardwareIp) {
       continue;  // hardware IP tiles run no software
@@ -55,6 +72,10 @@ void ResourceBudget::commitTile(TileId tile, std::uint32_t client, std::uint64_t
   budget.instrBytes += instrBytes;
   budget.dataBytes += dataBytes;
   budget.owner = client;
+  ClientLedger::TileShare& share = ledgers_[client].tiles[tile];
+  share.loadCycles += loadCycles;
+  share.instrBytes += instrBytes;
+  share.dataBytes += dataBytes;
 }
 
 const NocTopology& ResourceBudget::nocTopology() const {
@@ -68,9 +89,13 @@ const NocTopology& ResourceBudget::nocTopology() const {
 // (noc_topology.hpp) — the budget keeps its own per-link state because
 // it must be copyable for trial mappings, but the semantics (including
 // rejecting a zero-wire reservation) must not drift apart.
-bool ResourceBudget::reserveNocWires(const std::vector<LinkId>& route, std::uint32_t wires) {
+bool ResourceBudget::reserveNocWires(const std::vector<LinkId>& route, std::uint32_t wires,
+                                     std::uint32_t client) {
   if (wires == 0) {
     throw ModelError("ResourceBudget::reserveNocWires: cannot reserve zero wires");
+  }
+  if (client == TileBudget::kNoClient) {
+    throw Error("ResourceBudget::reserveNocWires: invalid client id");
   }
   const std::uint32_t capacity = arch_->noc().wiresPerLink;
   for (const LinkId link : route) {
@@ -78,14 +103,85 @@ bool ResourceBudget::reserveNocWires(const std::vector<LinkId>& route, std::uint
       return false;
     }
   }
+  ClientLedger& ledger = ledgers_[client];
   for (const LinkId link : route) {
     usedWires_[link] += wires;
+    ledger.wires[link] += wires;
   }
   return true;
 }
 
 std::uint32_t ResourceBudget::usedWires(LinkId link) const { return usedWires_.at(link); }
 
-std::uint32_t ResourceBudget::allocateFslLink() { return nextFslIndex_++; }
+std::uint32_t ResourceBudget::fslLinkCapacity() const {
+  const std::uint32_t configured = arch_->fsl().maxLinks;
+  if (configured != 0) {
+    return configured;
+  }
+  return FslConfig::kFslPortsPerTile * static_cast<std::uint32_t>(arch_->tileCount());
+}
+
+std::uint32_t ResourceBudget::allocateFslLink(std::uint32_t client) {
+  if (client == TileBudget::kNoClient) {
+    throw Error("ResourceBudget::allocateFslLink: invalid client id");
+  }
+  if (fslLinksUsed() >= fslLinkCapacity()) {
+    throw Error("ResourceBudget::allocateFslLink: FSL link capacity (" +
+                std::to_string(fslLinkCapacity()) + ") exhausted");
+  }
+  std::uint32_t index;
+  if (!freeFslLinks_.empty()) {
+    index = freeFslLinks_.front();  // lowest released index first
+    freeFslLinks_.erase(freeFslLinks_.begin());
+  } else {
+    index = nextFslIndex_++;
+  }
+  ledgers_[client].fslLinks.push_back(index);
+  return index;
+}
+
+const ClientLedger* ResourceBudget::ledger(std::uint32_t client) const {
+  const auto it = ledgers_.find(client);
+  return it == ledgers_.end() ? nullptr : &it->second;
+}
+
+void ResourceBudget::release(std::uint32_t client) {
+  const auto it = ledgers_.find(client);
+  if (it == ledgers_.end()) {
+    throw Error("ResourceBudget::release: client " + std::to_string(client) +
+                " holds no reservations");
+  }
+  const ClientLedger& ledger = it->second;
+  for (const auto& [tile, share] : ledger.tiles) {
+    TileBudget& budget = tiles_[tile];
+    budget.loadCycles -= share.loadCycles;
+    budget.instrBytes -= share.instrBytes;
+    budget.dataBytes -= share.dataBytes;
+    budget.owner = TileBudget::kNoClient;  // back to the (unclaimed) baseline
+  }
+  for (const auto& [link, wires] : ledger.wires) {
+    usedWires_[link] -= wires;
+  }
+  for (const std::uint32_t index : ledger.fslLinks) {
+    freeFslLinks_.insert(
+        std::lower_bound(freeFslLinks_.begin(), freeFslLinks_.end(), index), index);
+  }
+  // Shrink the high-water mark over the released tail so that a fully
+  // torn-down budget is bit-identical to a freshly constructed one
+  // (empty free-list, nextFslIndex_ == 0).
+  while (!freeFslLinks_.empty() && freeFslLinks_.back() + 1 == nextFslIndex_) {
+    freeFslLinks_.pop_back();
+    --nextFslIndex_;
+  }
+  ledgers_.erase(it);
+}
+
+bool ResourceBudget::operator==(const ResourceBudget& other) const {
+  // topology_ is derived deterministically from arch_, so comparing the
+  // architecture covers it.
+  return arch_ == other.arch_ && tiles_ == other.tiles_ && usedWires_ == other.usedWires_ &&
+         nextFslIndex_ == other.nextFslIndex_ && freeFslLinks_ == other.freeFslLinks_ &&
+         ledgers_ == other.ledgers_;
+}
 
 }  // namespace mamps::platform

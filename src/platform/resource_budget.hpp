@@ -13,9 +13,19 @@
 //
 // The budget is a value type: copy it to trial a mapping attempt and
 // assign the copy back to commit, or drop it to roll back.
+//
+// Beyond batch co-mapping, the budget supports *online* admission
+// control (mapping/admission.hpp): every commitment records per-client
+// provenance — which tiles (and how much of each), how many SDM wires
+// on which links, which FSL link indices — so release() can tear a
+// departed client down exactly. After any interleaving of commits and
+// releases that ends with every client released, the budget compares
+// equal (field for field, operator==) to a freshly constructed one with
+// the same baseline: nothing leaks, nothing drifts.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -36,12 +46,46 @@ struct TileBudget {
   /// client exclusively: its static-order schedule would otherwise be
   /// invalidated by another application's firings.
   std::uint32_t owner = kNoClient;
+
+  /// Field-for-field equality (pristine-restoration checks).
+  /// @param other the tile budget to compare against
+  /// @return true when every field matches
+  [[nodiscard]] bool operator==(const TileBudget& other) const = default;
+};
+
+/// Per-client provenance of committed reservations: exactly what
+/// release() must hand back. Recorded incrementally by commitTile /
+/// reserveNocWires / allocateFslLink; std::map keeps the iteration
+/// order (and thus release and equality) deterministic.
+struct ClientLedger {
+  /// Per claimed tile: this client's share of the committed load/memory
+  /// (the tile may additionally carry the unclaimed platform baseline).
+  struct TileShare {
+    std::uint64_t loadCycles = 0;  ///< committed processor cycles
+    std::uint32_t instrBytes = 0;  ///< committed instruction memory
+    std::uint32_t dataBytes = 0;   ///< committed data memory
+
+    /// Field-for-field equality.
+    /// @param other the share to compare against
+    /// @return true when every field matches
+    [[nodiscard]] bool operator==(const TileShare& other) const = default;
+  };
+
+  std::map<TileId, TileShare> tiles;         ///< tile -> this client's share
+  std::map<LinkId, std::uint32_t> wires;     ///< NoC link -> reserved SDM wires
+  std::vector<std::uint32_t> fslLinks;       ///< held FSL link indices
+
+  /// Field-for-field equality.
+  /// @param other the ledger to compare against
+  /// @return true when every member matches
+  [[nodiscard]] bool operator==(const ClientLedger& other) const = default;
 };
 
 /// Capacity-minus-reservations accounting for one architecture.
 ///
 /// Clients (the applications of a workload, identified by opaque ids)
-/// commit reservations; queries report the residual. The referenced
+/// commit reservations; queries report the residual; release() returns
+/// a departed client's reservations exactly. The referenced
 /// Architecture must outlive the budget.
 class ResourceBudget {
  public:
@@ -60,9 +104,13 @@ class ResourceBudget {
   /// Charge a platform-level baseline (e.g. the runtime layer image of
   /// the MAMPS scheduler/communication library) on every software tile.
   /// Hardware IP tiles run no software and are skipped. The tiles stay
-  /// unclaimed.
+  /// unclaimed, and the baseline belongs to no client — release() never
+  /// returns it.
   /// @param instrBytes instruction memory to charge per software tile
   /// @param dataBytes data memory to charge per software tile
+  /// @throws Error when the baseline does not fit the residual memory
+  ///   of every software tile (checked overflow-safely before anything
+  ///   is committed: a failed call changes nothing)
   void commitBaseline(std::uint32_t instrBytes, std::uint32_t dataBytes);
 
   /// May `client` place work on the tile?
@@ -103,33 +151,84 @@ class ResourceBudget {
   /// @throws Error when the architecture has no NoC interconnect
   [[nodiscard]] const NocTopology& nocTopology() const;
 
-  /// Reserve SDM wires on every link of a route.
+  /// Reserve SDM wires on every link of a route for `client`.
   /// @param route the links of the connection's XY route
   /// @param wires wires to claim on each link
+  /// @param client the reserving client id (not kNoClient)
   /// @return true on success; false (and nothing committed) when any
   ///   link lacks capacity
-  [[nodiscard]] bool reserveNocWires(const std::vector<LinkId>& route, std::uint32_t wires);
+  [[nodiscard]] bool reserveNocWires(const std::vector<LinkId>& route, std::uint32_t wires,
+                                     std::uint32_t client);
 
   /// SDM wires committed on a link.
   /// @param link the link to query
   /// @return the committed wire count
   [[nodiscard]] std::uint32_t usedWires(LinkId link) const;
 
-  /// Claim the next dedicated FSL link; indices are unique across the
-  /// whole workload, matching the generated point-to-point hardware.
+  /// Claim a dedicated FSL link for `client`. Links come from a capped
+  /// free-list: released indices are reused (lowest first) before new
+  /// ones are minted, so indices stay dense under admit/release churn
+  /// and match the generated point-to-point hardware.
+  /// @param client the claiming client id (not kNoClient)
   /// @return the claimed link index
-  [[nodiscard]] std::uint32_t allocateFslLink();
+  /// @throws Error when the architecture's FSL link capacity
+  ///   (fslLinkCapacity()) is exhausted
+  [[nodiscard]] std::uint32_t allocateFslLink(std::uint32_t client);
 
-  /// FSL links claimed so far.
-  /// @return the number of allocated links
-  [[nodiscard]] std::uint32_t fslLinksUsed() const { return nextFslIndex_; }
+  /// FSL links currently held by clients (live links, not the
+  /// high-water mark: released links do not count).
+  /// @return the number of live links
+  [[nodiscard]] std::uint32_t fslLinksUsed() const {
+    return nextFslIndex_ - static_cast<std::uint32_t>(freeFslLinks_.size());
+  }
+
+  /// The architecture's FSL link capacity: FslConfig::maxLinks, or —
+  /// when that is 0 — kFslPortsPerTile point-to-point links per tile
+  /// (the MicroBlaze FSL port limit).
+  /// @return the maximum number of simultaneously live FSL links
+  [[nodiscard]] std::uint32_t fslLinkCapacity() const;
+
+  // ------------------------------------------------- release / equality
+
+  /// The committed reservations of one client, exactly as release()
+  /// would return them.
+  /// @param client the client to look up
+  /// @return the ledger, or null when the client holds nothing
+  [[nodiscard]] const ClientLedger* ledger(std::uint32_t client) const;
+
+  /// Tear down every reservation `client` holds: tile load/memory goes
+  /// back to the residual (the tiles become unclaimed; the platform
+  /// baseline stays), SDM wires return to their links, and FSL links
+  /// return to the free-list. After all clients of a budget are
+  /// released, the budget equals a freshly constructed one with the
+  /// same baseline, field for field.
+  /// @param client the departing client id
+  /// @throws Error when the client holds no reservations (a
+  ///   double-release or unknown-client bug in the caller)
+  void release(std::uint32_t client);
+
+  /// Field-for-field equality: same architecture, same per-tile
+  /// reservations and ownership, same per-link wires, same FSL
+  /// free-list state, same client ledgers. This is the
+  /// pristine-restoration check of the admission controller.
+  /// @param other the budget to compare against
+  /// @return true when every field matches
+  [[nodiscard]] bool operator==(const ResourceBudget& other) const;
 
  private:
   const Architecture* arch_ = nullptr;
   std::vector<TileBudget> tiles_;
   std::optional<NocTopology> topology_;
   std::vector<std::uint32_t> usedWires_;  // per NoC link
+  /// High-water mark of minted FSL indices; indices < nextFslIndex_ not
+  /// on the free-list are live.
   std::uint32_t nextFslIndex_ = 0;
+  /// Released FSL indices, kept sorted ascending; allocation pops the
+  /// lowest. release() re-normalizes against nextFslIndex_ so a fully
+  /// torn-down budget is bit-identical to a fresh one.
+  std::vector<std::uint32_t> freeFslLinks_;
+  /// Per-client provenance; empty once every client released.
+  std::map<std::uint32_t, ClientLedger> ledgers_;
 };
 
 }  // namespace mamps::platform

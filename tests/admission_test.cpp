@@ -1,0 +1,432 @@
+// Tests for release-capable resource budgets and online admission
+// control: regression tests for the commit-only leak class (the FSL
+// monotone counter, the unchecked baseline commit, routeChannels'
+// partial commits), the x125-seed commit/release round-trip property
+// (bit-identical pristine after any interleaving plus full teardown),
+// the plan cache's replay-equals-recompute pin, and seeded churn traces
+// (>= 1000 events) on the largeMeshPreset and heterogeneousPreset
+// platforms asserting budget conservation and guarantee stability.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "apps/suite/churn.hpp"
+#include "mapping/admission.hpp"
+#include "mapping/flow.hpp"
+#include "platform/arch_template.hpp"
+#include "platform/resource_budget.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace mamps::mapping {
+namespace {
+
+using platform::InterconnectKind;
+using platform::ResourceBudget;
+using platform::TileBudget;
+using platform::TileId;
+
+platform::Architecture stockArch(std::uint32_t tiles, InterconnectKind kind,
+                                 std::uint32_t fslMaxLinks = 0) {
+  platform::TemplateRequest request;
+  request.tileCount = tiles;
+  request.interconnect = kind;
+  request.fslMaxLinks = fslMaxLinks;
+  return platform::generateFromTemplate(request);
+}
+
+// ------------------------------------------------ regression: FSL links
+
+// Pre-fix, FSL indices came from a monotone counter: releases never
+// returned links, so churn exhausted the (physical) link supply and
+// "links used" grew without bound.
+TEST(ResourceBudgetRegressionTest, FslLinksComeFromACappedFreeList) {
+  const auto arch = stockArch(2, InterconnectKind::Fsl);
+  ResourceBudget budget(arch);
+  EXPECT_EQ(budget.fslLinkCapacity(),
+            platform::FslConfig::kFslPortsPerTile * arch.tileCount());
+
+  const std::uint32_t a = budget.allocateFslLink(/*client=*/0);
+  const std::uint32_t b = budget.allocateFslLink(/*client=*/1);
+  const std::uint32_t c = budget.allocateFslLink(/*client=*/0);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(budget.fslLinksUsed(), 3u);
+
+  // Client 0 departs: its two links return, and the live count reports
+  // live links, not the high-water mark.
+  budget.release(0);
+  EXPECT_EQ(budget.fslLinksUsed(), 1u);
+
+  // Reuse is lowest-first: the next client gets index 0 back, not 3.
+  EXPECT_EQ(budget.allocateFslLink(/*client=*/2), 0u);
+  EXPECT_EQ(budget.allocateFslLink(/*client=*/2), 2u);
+  EXPECT_EQ(budget.fslLinksUsed(), 3u);
+}
+
+TEST(ResourceBudgetRegressionTest, FslLinkCapacityIsEnforced) {
+  const auto arch = stockArch(2, InterconnectKind::Fsl, /*fslMaxLinks=*/2);
+  ResourceBudget budget(arch);
+  EXPECT_EQ(budget.fslLinkCapacity(), 2u);
+  (void)budget.allocateFslLink(0);
+  (void)budget.allocateFslLink(1);
+  EXPECT_THROW((void)budget.allocateFslLink(2), Error);
+  // A departure frees capacity again — the cap is on *live* links.
+  budget.release(0);
+  EXPECT_EQ(budget.allocateFslLink(2), 0u);
+}
+
+// --------------------------------------- regression: baseline over-commit
+
+// Pre-fix, commitBaseline added the runtime-layer image to every tile
+// unchecked: a platform with tiles too small for the image silently
+// over-committed (and could wrap the 32-bit byte counters), breaking
+// every residual-memory query downstream.
+TEST(ResourceBudgetRegressionTest, CommitBaselineRejectsOverCommit) {
+  platform::TemplateRequest request;
+  request.tileCount = 2;
+  request.interconnect = InterconnectKind::Fsl;
+  request.tileMemory = {4 * 1024, 1 * 1024};  // smaller than the image
+  const auto arch = platform::generateFromTemplate(request);
+
+  ResourceBudget budget(arch);
+  const ResourceBudget before = budget;
+  EXPECT_THROW(budget.commitBaseline(8 * 1024, 2 * 1024), Error);
+  // All-or-nothing: the failed baseline committed nothing on any tile.
+  EXPECT_TRUE(budget == before);
+
+  // Overflow-safety: a near-UINT32_MAX image must throw, not wrap.
+  EXPECT_THROW(budget.commitBaseline(0xffffffffu, 0xffffffffu), Error);
+  EXPECT_TRUE(budget == before);
+
+  // The image fits after halving the data segment.
+  budget.commitBaseline(4 * 1024, 1 * 1024);
+  EXPECT_EQ(budget.freeInstrBytes(0), 0u);
+}
+
+// ------------------------------------- regression: routeChannels commits
+
+// Pre-fix, routeChannels committed wires channel by channel and
+// returned false mid-way, leaving the earlier channels' reservations in
+// the caller's budget. Batch callers masked it by throwing the budget
+// copy away; a long-lived budget (the admission controller's platform
+// state) leaks.
+TEST(RouteChannelsRegressionTest, FailedNocRoutingCommitsNothing) {
+  const auto arch = stockArch(4, InterconnectKind::NocMesh);
+  ResourceBudget budget(arch);
+
+  sdf::Graph g("chain");
+  const auto a = g.addActor("a");
+  const auto b = g.addActor("b");
+  const auto c = g.addActor("c");
+  g.connect(a, 1, b, 1, 0);
+  g.connect(b, 1, c, 1, 0);
+  const std::vector<TileId> actorToTile = {0, 1, 3};
+
+  // Saturate the second channel's route (1 -> 3) so routing fails only
+  // after the first channel (0 -> 1) already allocated.
+  const auto blocked = budget.nocTopology().xyRoute(1, 3);
+  ASSERT_TRUE(budget.reserveNocWires(blocked, arch.noc().wiresPerLink, /*client=*/9));
+
+  const ResourceBudget before = budget;
+  std::vector<ChannelRoute> routes;
+  EXPECT_FALSE(routeChannels(g, arch, actorToTile, MappingOptions{}, budget, /*client=*/0, routes));
+  // All-or-nothing: the first channel's wires are NOT left behind.
+  EXPECT_TRUE(budget == before);
+}
+
+TEST(RouteChannelsRegressionTest, FailedFslRoutingCommitsNothing) {
+  const auto arch = stockArch(3, InterconnectKind::Fsl, /*fslMaxLinks=*/1);
+  ResourceBudget budget(arch);
+
+  sdf::Graph g("chain");
+  const auto a = g.addActor("a");
+  const auto b = g.addActor("b");
+  const auto c = g.addActor("c");
+  g.connect(a, 1, b, 1, 0);
+  g.connect(b, 1, c, 1, 0);
+  const std::vector<TileId> actorToTile = {0, 1, 2};
+
+  const ResourceBudget before = budget;
+  std::vector<ChannelRoute> routes;
+  // Two inter-tile channels, one link of capacity: the first channel's
+  // FSL allocation must not survive the second channel's failure.
+  EXPECT_FALSE(routeChannels(g, arch, actorToTile, MappingOptions{}, budget, /*client=*/0, routes));
+  EXPECT_TRUE(budget == before);
+  EXPECT_EQ(budget.fslLinksUsed(), 0u);
+}
+
+// --------------------------------------------------- release semantics
+
+TEST(ResourceBudgetReleaseTest, ReleaseRestoresThePristineBudget) {
+  const auto arch = stockArch(4, InterconnectKind::NocMesh);
+  ResourceBudget budget(arch);
+  budget.commitBaseline(runtimeLayerInstrBytes(), runtimeLayerDataBytes());
+  const ResourceBudget pristine = budget;
+
+  budget.commitTile(0, /*client=*/0, 500, 1024, 256);
+  budget.commitTile(1, /*client=*/0, 300, 512, 128);
+  budget.commitTile(2, /*client=*/1, 700, 2048, 512);
+  ASSERT_TRUE(budget.reserveNocWires(budget.nocTopology().xyRoute(0, 1), 2, /*client=*/0));
+  ASSERT_TRUE(budget.reserveNocWires(budget.nocTopology().xyRoute(2, 3), 4, /*client=*/1));
+  EXPECT_FALSE(budget == pristine);
+
+  // The ledger records exactly what release() will hand back.
+  const platform::ClientLedger* ledger = budget.ledger(0);
+  ASSERT_NE(ledger, nullptr);
+  EXPECT_EQ(ledger->tiles.size(), 2u);
+  EXPECT_EQ(ledger->tiles.at(0).loadCycles, 500u);
+  EXPECT_EQ(ledger->tiles.at(1).instrBytes, 512u);
+
+  budget.release(1);
+  EXPECT_EQ(budget.tiles()[2].owner, TileBudget::kNoClient);
+  EXPECT_FALSE(budget == pristine);  // client 0 still resident
+  budget.release(0);
+  EXPECT_TRUE(budget == pristine);
+  EXPECT_EQ(budget.ledger(0), nullptr);
+}
+
+TEST(ResourceBudgetReleaseTest, ReleaseOfUnknownClientThrows) {
+  const auto arch = stockArch(2, InterconnectKind::Fsl);
+  ResourceBudget budget(arch);
+  EXPECT_THROW(budget.release(7), Error);
+  budget.commitTile(0, 7, 1, 1, 1);
+  budget.release(7);
+  // Double-release is a caller bug, loudly.
+  EXPECT_THROW(budget.release(7), Error);
+}
+
+// ------------------------------------- x125 commit/release round trips
+
+class BudgetRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Any interleaving of commits and releases that ends with every client
+// released leaves the budget bit-identical to the freshly baselined
+// one: nothing leaks, nothing drifts.
+TEST_P(BudgetRoundTripProperty, AnyInterleavingTearsDownToPristine) {
+  Rng rng(GetParam());
+  const bool noc = rng.chance(0.5);
+  const auto arch = stockArch(4, noc ? InterconnectKind::NocMesh : InterconnectKind::Fsl);
+  ResourceBudget budget(arch);
+  budget.commitBaseline(runtimeLayerInstrBytes(), runtimeLayerDataBytes());
+  const ResourceBudget pristine = budget;
+
+  constexpr std::uint32_t kClients = 4;
+  const std::size_t steps = 20 + rng.range(0, 40);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const std::uint32_t client = static_cast<std::uint32_t>(rng.range(0, kClients - 1));
+    switch (rng.range(0, 3)) {
+      case 0: {  // tile commit (only where this client may and it fits)
+        const TileId tile = static_cast<TileId>(rng.range(0, arch.tileCount() - 1));
+        const std::uint32_t instr = static_cast<std::uint32_t>(rng.range(0, 512));
+        const std::uint32_t data = static_cast<std::uint32_t>(rng.range(0, 256));
+        if (budget.tileAvailable(tile, client) && budget.freeInstrBytes(tile) >= instr &&
+            budget.freeDataBytes(tile) >= data) {
+          budget.commitTile(tile, client, rng.range(1, 1000), instr, data);
+        }
+        break;
+      }
+      case 1: {  // interconnect claim
+        if (noc) {
+          const TileId src = static_cast<TileId>(rng.range(0, arch.tileCount() - 1));
+          const TileId dst = static_cast<TileId>(rng.range(0, arch.tileCount() - 1));
+          if (src != dst) {
+            (void)budget.reserveNocWires(budget.nocTopology().xyRoute(src, dst),
+                                         static_cast<std::uint32_t>(rng.range(1, 4)), client);
+          }
+        } else if (budget.fslLinksUsed() < budget.fslLinkCapacity()) {
+          (void)budget.allocateFslLink(client);
+        }
+        break;
+      }
+      default: {  // release a random resident client
+        if (budget.ledger(client) != nullptr) {
+          budget.release(client);
+        }
+        break;
+      }
+    }
+  }
+
+  // Full teardown, in seed-dependent order.
+  std::vector<std::uint32_t> resident;
+  for (std::uint32_t client = 0; client < kClients; ++client) {
+    if (budget.ledger(client) != nullptr) {
+      resident.push_back(client);
+    }
+  }
+  while (!resident.empty()) {
+    const std::size_t pick = static_cast<std::size_t>(rng.range(0, resident.size() - 1));
+    budget.release(resident[pick]);
+    resident.erase(resident.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  EXPECT_TRUE(budget == pristine);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BudgetRoundTripProperty,
+                         ::testing::Range<std::uint64_t>(0, 125));
+
+// ------------------------------------------------- admission controller
+
+TEST(AdmissionControllerTest, FirstAdmissionMatchesTheStandaloneFlow) {
+  const suite::ChurnWorkload workload = suite::suiteChurnWorkload();
+  const auto arch =
+      platform::generateFromTemplate(platform::heterogeneousPreset(4, {"accel"}));
+
+  AdmissionController controller(arch);
+  const std::size_t app = 1;  // cd2dat
+  const AdmissionDecision decision =
+      controller.admit(workload.caches[app], workload.options[app]);
+  ASSERT_TRUE(decision.admitted());
+
+  // An admission onto the empty controller IS the standalone mapping
+  // step: same code path, same baselined budget, same client id.
+  const auto standalone = mapApplication(workload.caches[app], arch, workload.options[app]);
+  ASSERT_TRUE(standalone.has_value());
+  EXPECT_EQ(decision.result->mapping.actorToTile, standalone->mapping.actorToTile);
+  EXPECT_EQ(decision.result->throughput.iterationsPerCycle,
+            standalone->throughput.iterationsPerCycle);
+  EXPECT_EQ(decision.result->meetsConstraint, standalone->meetsConstraint);
+
+  controller.depart(*decision.client);
+  EXPECT_TRUE(controller.pristine());
+}
+
+TEST(AdmissionControllerTest, RejectionLeavesTheBudgetUntouched) {
+  const suite::ChurnWorkload workload = suite::suiteChurnWorkload();
+  const auto arch = platform::generateFromTemplate(platform::heterogeneousPreset(4, {"accel"}));
+  AdmissionController controller(arch);
+
+  // Admit the converter until the platform is full; the first rejection
+  // must leave the live budget bit-identical to before the attempt.
+  bool sawRejection = false;
+  for (int i = 0; i < 16 && !sawRejection; ++i) {
+    const ResourceBudget before = controller.budget();
+    const AdmissionDecision decision =
+        controller.admit(workload.caches[1], workload.options[1]);
+    if (!decision.admitted()) {
+      sawRejection = true;
+      EXPECT_FALSE(decision.reason.empty());
+      EXPECT_TRUE(controller.budget() == before);
+    }
+  }
+  EXPECT_TRUE(sawRejection);
+  EXPECT_GT(controller.residentCount(), 0u);
+  EXPECT_GT(controller.stats().rejected, 0u);
+}
+
+TEST(AdmissionControllerTest, ResidentGuaranteesAreStableUnderChurn) {
+  const suite::ChurnWorkload workload = suite::suiteChurnWorkload();
+  const auto arch = platform::generateFromTemplate(platform::largeMeshPreset(12));
+  AdmissionController controller(arch);
+
+  const AdmissionDecision first = controller.admit(workload.caches[0], workload.options[0]);
+  ASSERT_TRUE(first.admitted());
+  const Rational pinned = first.result->throughput.iterationsPerCycle;
+  EXPECT_TRUE(first.result->meetsConstraint);
+
+  // Neighbours come and go; the resident's guarantee must not move (its
+  // resources are exclusively committed — nothing can perturb it).
+  const AdmissionDecision b = controller.admit(workload.caches[1], workload.options[1]);
+  const AdmissionDecision c = controller.admit(workload.caches[3], workload.options[3]);
+  ASSERT_TRUE(b.admitted());
+  ASSERT_TRUE(c.admitted());
+  EXPECT_EQ(controller.resident(*first.client).throughput.iterationsPerCycle, pinned);
+  controller.depart(*b.client);
+  EXPECT_EQ(controller.resident(*first.client).throughput.iterationsPerCycle, pinned);
+  EXPECT_TRUE(controller.resident(*first.client).meetsConstraint);
+
+  controller.depart(*c.client);
+  controller.depart(*first.client);
+  EXPECT_TRUE(controller.pristine());
+}
+
+TEST(AdmissionControllerTest, DepartOfUnknownClientThrows) {
+  const auto arch = stockArch(2, InterconnectKind::Fsl);
+  AdmissionController controller(arch);
+  EXPECT_THROW(controller.depart(3), Error);
+}
+
+TEST(AdmissionControllerTest, PlanCacheReplayIsBitIdenticalToRecompute) {
+  const suite::ChurnWorkload workload = suite::suiteChurnWorkload();
+  const auto arch = platform::generateFromTemplate(platform::heterogeneousPreset(4, {"accel"}));
+
+  AdmissionOptions cold;
+  cold.planCache = false;
+  AdmissionController cached(arch);
+  AdmissionController recomputed(arch, cold);
+
+  // Drive both controllers through the same sequence, revisiting the
+  // same residual states so the cached controller replays decisions.
+  const std::size_t script[] = {1, 3, 1, 3};
+  for (int round = 0; round < 3; ++round) {
+    std::vector<ClientId> mine;
+    std::vector<ClientId> theirs;
+    for (const std::size_t app : script) {
+      const AdmissionDecision a = cached.admit(workload.caches[app], workload.options[app]);
+      const AdmissionDecision b = recomputed.admit(workload.caches[app], workload.options[app]);
+      ASSERT_EQ(a.admitted(), b.admitted());
+      if (a.admitted()) {
+        mine.push_back(*a.client);
+        theirs.push_back(*b.client);
+        EXPECT_EQ(a.result->mapping.actorToTile, b.result->mapping.actorToTile);
+        EXPECT_EQ(a.result->throughput.iterationsPerCycle,
+                  b.result->throughput.iterationsPerCycle);
+        EXPECT_EQ(a.result->meetsConstraint, b.result->meetsConstraint);
+      }
+      // Same client ids, same commitments: the live budgets stay equal.
+      EXPECT_TRUE(cached.budget() == recomputed.budget());
+    }
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      cached.depart(mine[i]);
+      recomputed.depart(theirs[i]);
+    }
+    EXPECT_TRUE(cached.pristine());
+    EXPECT_TRUE(recomputed.pristine());
+  }
+  EXPECT_GT(cached.stats().planCacheHits, 0u);
+  EXPECT_EQ(recomputed.stats().planCacheHits, 0u);
+}
+
+// ----------------------------------------------------- churn traces
+
+void expectConservedChurn(const platform::Architecture& arch) {
+  const suite::ChurnWorkload workload = suite::suiteChurnWorkload();
+  AdmissionController controller(arch);
+  suite::ChurnOptions options;
+  options.seed = 42;
+  options.events = 1000;
+  const suite::ChurnResult result = suite::runChurnTrace(controller, workload, options);
+
+  // Conservation: after the final drain the live budget is
+  // bit-identical to pristine — 1000+ interleaved commit/release cycles
+  // leaked nothing.
+  EXPECT_TRUE(result.pristineAfterDrain);
+  EXPECT_EQ(controller.residentCount(), 0u);
+
+  // The trace is internally consistent.
+  EXPECT_EQ(result.stats.arrivals, result.admitSeconds.size());
+  EXPECT_EQ(result.stats.admitted + result.stats.rejected, result.stats.arrivals);
+  EXPECT_EQ(result.stats.admitted, result.stats.departures);
+  EXPECT_EQ(result.stats.admitted, result.clientApp.size());
+  EXPECT_GT(result.stats.admitted, 0u);
+  // Residual states recur under churn, so the plan cache must be doing
+  // real work (the p99 latency of bench_admission depends on it). The
+  // bound is loose: the mesh's per-link wire state makes many more
+  // residual states distinct than the FSL platforms see.
+  EXPECT_GT(result.stats.planCacheHits, result.stats.arrivals / 4);
+}
+
+TEST(AdmissionChurnTest, BudgetIsConservedOnTheLargeMesh) {
+  expectConservedChurn(platform::generateFromTemplate(platform::largeMeshPreset(12)));
+}
+
+TEST(AdmissionChurnTest, BudgetIsConservedOnTheHeterogeneousPlatform) {
+  expectConservedChurn(
+      platform::generateFromTemplate(platform::heterogeneousPreset(4, {"accel"})));
+}
+
+}  // namespace
+}  // namespace mamps::mapping

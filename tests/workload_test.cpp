@@ -80,19 +80,19 @@ TEST(ResourceBudgetTest, NocWireReservationIsAllOrNothing) {
   const auto route = budget.nocTopology().xyRoute(0, 3);
   ASSERT_FALSE(route.empty());
   const std::uint32_t perLink = arch.noc().wiresPerLink;
-  EXPECT_TRUE(budget.reserveNocWires(route, perLink - 1));
+  EXPECT_TRUE(budget.reserveNocWires(route, perLink - 1, /*client=*/0));
   EXPECT_EQ(budget.usedWires(route.front()), perLink - 1);
   // Over-subscription commits nothing on any link.
-  EXPECT_FALSE(budget.reserveNocWires(route, 2));
+  EXPECT_FALSE(budget.reserveNocWires(route, 2, /*client=*/1));
   EXPECT_EQ(budget.usedWires(route.front()), perLink - 1);
-  EXPECT_TRUE(budget.reserveNocWires(route, 1));
+  EXPECT_TRUE(budget.reserveNocWires(route, 1, /*client=*/1));
 }
 
 TEST(ResourceBudgetTest, FslIndicesAreUniqueAcrossClients) {
   const auto arch = stockArch(2, InterconnectKind::Fsl);
   ResourceBudget budget(arch);
-  EXPECT_EQ(budget.allocateFslLink(), 0u);
-  EXPECT_EQ(budget.allocateFslLink(), 1u);
+  EXPECT_EQ(budget.allocateFslLink(/*client=*/0), 0u);
+  EXPECT_EQ(budget.allocateFslLink(/*client=*/1), 1u);
   EXPECT_EQ(budget.fslLinksUsed(), 2u);
 }
 
