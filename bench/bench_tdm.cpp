@@ -1,0 +1,139 @@
+// TDM processor-sharing capacity: for each platform preset, admit
+// instances of every suite application until the first rejection, once
+// on the exclusive-tile platform and once on its TDM variant (4-slot
+// wheels, 2 slots per instance, 200-cycle switch overhead) — the same
+// slice-relaxed application model on both sides, so the curves compare
+// pure packing, not constraint luck. Also drains a 1000-event churn
+// trace on each TDM platform as the slot-leak gate. Prints one JSON
+// object to stdout; the trajectory at ../BENCH_tdm.json records the
+// capacity curves across PRs. Exits non-zero when an admitted instance
+// misses its constraint, TDM sharing fails to admit strictly more
+// instances than exclusive tiles on the 12-tile mesh, a TDM capacity
+// falls below its exclusive baseline anywhere, or the churn trace does
+// not drain to a bit-identical pristine budget.
+#include <cstdio>
+#include <string>
+
+#include "apps/suite/churn.hpp"
+#include "mapping/admission.hpp"
+#include "platform/arch_template.hpp"
+
+using namespace mamps;
+
+namespace {
+
+constexpr std::uint32_t kSlotsPerWheel = 4;
+constexpr std::uint32_t kSlotsPerApp = 2;
+constexpr std::uint32_t kWheelOverheadCycles = 200;
+
+struct Capacity {
+  std::size_t instances = 0;
+  bool allGuaranteesMet = true;
+};
+
+Capacity admitUntilFull(const platform::Architecture& arch,
+                        const mapping::AppAnalysisCache& cache,
+                        const mapping::MappingOptions& options) {
+  mapping::AdmissionController controller(arch);
+  Capacity capacity;
+  for (;;) {
+    const mapping::AdmissionDecision decision = controller.admit(cache, options);
+    if (!decision.admitted()) {
+      return capacity;
+    }
+    ++capacity.instances;
+    if (!decision.result->meetsConstraint) {
+      capacity.allGuaranteesMet = false;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  struct Platform {
+    const char* name;
+    platform::TemplateRequest request;
+    bool requireStrictGain;  // the headline claim is pinned on the mesh
+  };
+  const Platform platforms[] = {
+      {"mesh12_noc", platform::largeMeshPreset(12), true},
+      {"hetero4_fsl", platform::heterogeneousPreset(4, {"accel"}), false},
+  };
+
+  const suite::ChurnWorkload workload =
+      suite::suiteTdmChurnWorkload(kSlotsPerWheel, kSlotsPerApp);
+
+  bool healthy = true;
+  std::string rows;
+  for (const Platform& p : platforms) {
+    const platform::Architecture exclusiveArch = platform::generateFromTemplate(p.request);
+    const platform::Architecture tdmArch = platform::generateFromTemplate(
+        platform::withTdm(p.request, kSlotsPerWheel, kWheelOverheadCycles));
+
+    bool strictGain = false;
+    std::string apps;
+    for (std::size_t i = 0; i < workload.caches.size(); ++i) {
+      mapping::MappingOptions exclusiveOptions = workload.options[i];
+      exclusiveOptions.tdmSlots = 0;  // claim whole (1-slot) wheels
+      const Capacity exclusive =
+          admitUntilFull(exclusiveArch, workload.caches[i], exclusiveOptions);
+      const Capacity tdm = admitUntilFull(tdmArch, workload.caches[i], workload.options[i]);
+
+      if (!exclusive.allGuaranteesMet || !tdm.allGuaranteesMet) {
+        healthy = false;  // an admitted instance missed its constraint
+      }
+      if (tdm.instances < exclusive.instances) {
+        healthy = false;  // sharing must never shrink capacity
+      }
+      strictGain = strictGain || tdm.instances > exclusive.instances;
+
+      char row[256];
+      std::snprintf(row, sizeof row,
+                    "        {\"app\": \"%s\", \"exclusive_instances\": %zu, "
+                    "\"tdm_instances\": %zu, \"all_guarantees_met\": %s}",
+                    workload.names[i].c_str(), exclusive.instances, tdm.instances,
+                    exclusive.allGuaranteesMet && tdm.allGuaranteesMet ? "true" : "false");
+      apps += apps.empty() ? "" : ",\n";
+      apps += row;
+    }
+    if (p.requireStrictGain && !strictGain) {
+      healthy = false;  // the headline: sharing packs more onto the mesh
+    }
+
+    // Slot-leak gate: a 1000-event churn of the TDM mix must drain to a
+    // bit-identical pristine budget (a leaked slot reservation would be
+    // invisible to the capacity sweep for many PRs).
+    mapping::AdmissionController controller(tdmArch);
+    suite::ChurnOptions churnOptions;
+    churnOptions.seed = 42;
+    churnOptions.events = 1000;
+    const suite::ChurnResult churn = suite::runChurnTrace(controller, workload, churnOptions);
+    if (!churn.pristineAfterDrain) {
+      healthy = false;
+    }
+
+    char row[2048];
+    std::snprintf(row, sizeof row,
+                  "    {\"platform\": \"%s\", \"slots_per_wheel\": %u, \"slots_per_app\": %u, "
+                  "\"wheel_overhead_cycles\": %u,\n      \"apps\": [\n%s\n      ],\n"
+                  "      \"strict_capacity_gain\": %s, \"churn_events\": %zu, "
+                  "\"churn_pristine_after_drain\": %s}",
+                  p.name, kSlotsPerWheel, kSlotsPerApp, kWheelOverheadCycles, apps.c_str(),
+                  strictGain ? "true" : "false", churnOptions.events,
+                  churn.pristineAfterDrain ? "true" : "false");
+    rows += rows.empty() ? "" : ",\n";
+    rows += row;
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"bench_tdm\",\n");
+  std::printf(
+      "  \"workload\": \"per-application admission capacity until first rejection, "
+      "exclusive tiles vs 4-slot TDM wheels (2 slots per instance), plus a 1000-event "
+      "TDM churn drain\",\n");
+  std::printf("  \"platforms\": [\n%s\n  ],\n", rows.c_str());
+  std::printf("  \"healthy\": %s\n", healthy ? "true" : "false");
+  std::printf("}\n");
+  return healthy ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Assert that every CTest label declared in CMakeLists.txt matches at
+# least one discovered test. A label with zero tests is how a CI filter
+# silently stops running a whole suite (the PR-5 label-collapse bug
+# shipped exactly that way): the ASan/TSan presets select by label, so
+# a renamed or dropped label turns a sanitizer gate into a no-op.
+#
+# Usage: scripts/check_labels.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [[ ! -f "$build_dir/CTestTestfile.cmake" ]]; then
+  echo "error: '$build_dir' is not a configured build directory" >&2
+  exit 2
+fi
+
+# Every label mentioned in a mamps_add_test(<name> <source> "<l1>;<l2>") call.
+labels=$(sed -n 's/^[[:space:]]*mamps_add_test([^ ]* [^ ]* "\{0,1\}\([^")]*\)"\{0,1\})/\1/p' \
+             "$repo_root/CMakeLists.txt" | tr ';' '\n' | sort -u)
+
+if [[ -z "$labels" ]]; then
+  echo "error: no mamps_add_test labels found in CMakeLists.txt" >&2
+  exit 2
+fi
+
+status=0
+for label in $labels; do
+  count=$(ctest --test-dir "$build_dir" -N -L "^${label}$" 2>/dev/null |
+          sed -n 's/^Total Tests: \([0-9]*\)$/\1/p')
+  if [[ -z "${count:-}" || "$count" -eq 0 ]]; then
+    echo "FAIL: label '$label' matches no tests (a label filter using it runs nothing)"
+    status=1
+  else
+    echo "ok: label '$label' matches $count test(s)"
+  fi
+done
+exit $status

@@ -21,6 +21,37 @@ ChurnWorkload suiteChurnWorkload(std::uint32_t maxTiles) {
   return workload;
 }
 
+ChurnWorkload suiteTdmChurnWorkload(std::uint32_t slotsPerWheel, std::uint32_t slotsPerApp,
+                                    std::uint32_t maxTiles) {
+  if (slotsPerWheel == 0 || slotsPerApp == 0 || slotsPerApp > slotsPerWheel) {
+    throw Error("suiteTdmChurnWorkload: need 0 < slotsPerApp <= slotsPerWheel");
+  }
+  ChurnWorkload workload;
+  for (Scenario& scenario : builtinScenarios()) {
+    workload.names.push_back(scenario.name);
+    // Slice-proportional constraint: an instance holding k of S slots
+    // is analyzed with WCETs inflated ~S/k, so it can only promise
+    // ~k/S of the dedicated-tile rate; the extra slack factor leaves
+    // room for the ceil rounding, the wheel overhead, and the
+    // interconnect latencies that do not scale with the slice. The
+    // fork graph's short actors make the per-firing wheel overhead its
+    // dominant inflation term, so it gets double the slack.
+    sdf::ApplicationModel model = std::move(scenario.model);
+    const std::int64_t extra = scenario.name == "synthetic_fork" ? 4 : 2;
+    const Rational c = model.throughputConstraint();
+    model.setThroughputConstraint(c * Rational(slotsPerApp, extra * std::int64_t{slotsPerWheel}));
+    workload.models.push_back(std::move(model));
+    mapping::MappingOptions options = scenario.options;
+    options.maxTiles = maxTiles;
+    options.tdmSlots = slotsPerApp;
+    workload.options.push_back(options);
+  }
+  for (const sdf::ApplicationModel& model : workload.models) {
+    workload.caches.push_back(mapping::prepareApplication(model));
+  }
+  return workload;
+}
+
 ChurnResult runChurnTrace(mapping::AdmissionController& controller,
                           const ChurnWorkload& workload, const ChurnOptions& options) {
   if (workload.caches.empty()) {

@@ -55,6 +55,24 @@ struct ChurnWorkload {
 /// @return the workload (self-contained; safe to move)
 [[nodiscard]] ChurnWorkload suiteChurnWorkload(std::uint32_t maxTiles = 2);
 
+/// TDM variant of the suite churn mix for platforms whose tiles carry a
+/// shared slot wheel (platform::withTdm): every application requests
+/// `slotsPerApp` TDM slots per claimed tile, and each scenario's
+/// throughput constraint is relaxed to the slice-proportional rate
+/// `constraint * slotsPerApp / (2 * slotsPerWheel)` — a stream that
+/// tolerates its fair share of a shared processor (the extra factor 2
+/// absorbs the wheel overhead and the non-scaling interconnect
+/// latencies in the conservative guarantee). The point of the variant:
+/// several instances pack onto one tile while every admitted instance
+/// still carries a composable analyzed guarantee.
+/// @param slotsPerWheel the wheel size of the target platform's tiles
+/// @param slotsPerApp TDM slots each application reserves per tile
+/// @param maxTiles per-application tile cap (0 = no cap)
+/// @return the workload (self-contained; safe to move)
+[[nodiscard]] ChurnWorkload suiteTdmChurnWorkload(std::uint32_t slotsPerWheel,
+                                                  std::uint32_t slotsPerApp,
+                                                  std::uint32_t maxTiles = 2);
+
 /// Tuning knobs for runChurnTrace().
 struct ChurnOptions {
   /// Seed of the event stream; the trace is a pure function of the seed

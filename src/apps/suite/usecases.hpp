@@ -50,7 +50,7 @@ struct UseCase {
 };
 
 /// The built-in use cases, in a stable order.
-/// @return mjpeg_h263_mesh, cd2dat_ring_hetero
+/// @return mjpeg_h263_mesh, cd2dat_ring_hetero, suite_tdm_mesh
 [[nodiscard]] std::vector<UseCase> builtinUseCases();
 
 /// Look up a built-in use case by name.

@@ -24,25 +24,30 @@ std::string AdmissionController::decisionKey(const AppAnalysisCache& app,
                                              const MappingOptions& options) const {
   // Everything the mapping step (mapOntoBudget) reads must be covered:
   // the application (the cache is a pure function of the model), the
-  // mapping knobs, and — from the live budget — per-tile availability
+  // mapping knobs, and — from the live budget — per-tile slot occupancy
   // and committed load/memory, per-link SDM wires, and the live FSL
-  // link count. Tiles claimed by other clients are collapsed to a
-  // marker: binding skips them before reading any of their values, and
-  // FSL link *indices* are re-allocated on replay, so neither affects
-  // the decision.
-  std::string key = strprintf("app=%p|o=%a,%a,%a,%a,%d,%u,%u,%u,%d,%u|",
+  // link count. Slot occupancy is load-bearing: two residuals with
+  // identical load/memory but different reserved TDM slots bind (and
+  // inflate WCETs) differently, so omitting it would replay a stale
+  // plan and corrupt the budget. Fully-reserved wheels are collapsed to
+  // a marker: binding skips them before reading any of their values,
+  // and FSL link *indices* are re-allocated on replay, so neither
+  // affects the decision.
+  std::string key = strprintf("app=%p|o=%a,%a,%a,%a,%d,%u,%u,%u,%d,%u,%u|",
                               static_cast<const void*>(app.app), options.weights.processing,
                               options.weights.memory, options.weights.communication,
                               options.weights.latency, static_cast<int>(options.serialization),
                               options.nocWiresPerConnection, options.bufferGrowthRounds,
                               options.initialBufferScale,
-                              options.incrementalAnalysis ? 1 : 0, options.maxTiles);
-  for (const TileBudget& tile : budget_.tiles()) {
-    if (tile.owner != TileBudget::kNoClient) {
-      key += "X;";  // claimed: unavailable to a fresh client
+                              options.incrementalAnalysis ? 1 : 0, options.maxTiles,
+                              options.tdmSlots);
+  for (TileId t = 0; t < arch_->tileCount(); ++t) {
+    const TileBudget& tile = budget_.tiles()[t];
+    if (budget_.freeTileSlots(t) == 0) {
+      key += "X;";  // wheel fully reserved: unavailable to a fresh client
     } else {
-      key += strprintf("%llu,%u,%u;", static_cast<unsigned long long>(tile.loadCycles),
-                       tile.instrBytes, tile.dataBytes);
+      key += strprintf("%llu,%u,%u,s%u;", static_cast<unsigned long long>(tile.loadCycles),
+                       tile.instrBytes, tile.dataBytes, tile.slotsUsed());
     }
   }
   if (arch_->interconnect() == platform::InterconnectKind::NocMesh) {
@@ -64,6 +69,14 @@ bool AdmissionController::replayAdmission(const CachedDecision& cached,
   MappingResult result = cached.plan;
   ResourceBudget work = budget_;
   try {
+    // Re-reserve the plan's TDM shares first: commitTile only claims
+    // whole wheels implicitly, and the plan's inflated guarantee is
+    // only valid for exactly these slot counts.
+    for (TileId t = 0; t < result.mapping.tileTdmSlots.size(); ++t) {
+      if (result.mapping.tileTdmSlots[t] > 0) {
+        work.reserveTileSlots(t, client, result.mapping.tileTdmSlots[t]);
+      }
+    }
     for (ActorId a = 0; a < g.actorCount(); ++a) {
       const TileId tile = result.mapping.actorToTile[a];
       const auto* impl = app.app->implementationFor(a, arch_->tile(tile).processorType);

@@ -32,6 +32,16 @@ std::uint32_t tileDistance(const Architecture& arch, const ResourceBudget& budge
   return budget.nocTopology().hopDistance(a, b);
 }
 
+/// TDM slots the application wants on a candidate tile: the whole wheel
+/// when options.tdmSlots is 0 (exclusive, the pre-TDM default), else
+/// the requested share clamped to the wheel size (so a 1-slot wheel —
+/// or a hardware IP tile — is still claimed whole).
+std::uint32_t desiredSlots(const ResourceBudget& budget, TileId tile,
+                           const MappingOptions& options) {
+  const std::uint32_t capacity = budget.tileSlotCapacity(tile);
+  return options.tdmSlots == 0 ? capacity : std::min(options.tdmSlots, capacity);
+}
+
 }  // namespace
 
 std::optional<BindingResult> bindActors(const ApplicationModel& app, const MappingOptions& options,
@@ -90,11 +100,11 @@ std::optional<BindingResult> bindActors(const ApplicationModel& app, const Mappi
 
     for (TileId t = 0; t < arch.tileCount(); ++t) {
       const platform::Tile& tile = arch.tile(t);
-      if (!budget.tileAvailable(t, client)) {
-        continue;  // claimed by another application of the workload
+      const bool holdsSlots = budget.tileSlots(t, client) > 0;
+      if (!holdsSlots && budget.freeTileSlots(t) < desiredSlots(budget, t, options)) {
+        continue;  // the wheel cannot seat this application's share
       }
-      if (options.maxTiles != 0 && claimedTiles >= options.maxTiles &&
-          budget.tiles()[t].owner != client) {
+      if (options.maxTiles != 0 && claimedTiles >= options.maxTiles && !holdsSlots) {
         continue;  // the application's tile footprint is capped
       }
       const sdf::ActorImplementation* impl = app.implementationFor(a, tile.processorType);
@@ -162,8 +172,9 @@ std::optional<BindingResult> bindActors(const ApplicationModel& app, const Mappi
     }
     result.actorToTile[a] = *bestTile;
     bound[a] = true;
-    if (budget.tiles()[*bestTile].owner != client) {
+    if (budget.tileSlots(*bestTile, client) == 0) {
       ++claimedTiles;
+      budget.reserveTileSlots(*bestTile, client, desiredSlots(budget, *bestTile, options));
     }
     budget.commitTile(*bestTile, client, bestImpl->wcetCycles * q[a], bestImpl->instrMemBytes,
                       bestImpl->dataMemBytes);

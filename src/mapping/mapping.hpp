@@ -44,6 +44,11 @@ struct Mapping {
   std::vector<std::vector<sdf::ActorId>> schedules;
   /// Where the (de)serialization runs.
   comm::SerializationMode serialization = comm::SerializationMode::OnProcessor;
+  /// Per tile of the architecture: TDM slots this application reserved
+  /// on the tile's wheel (0 = tile not used). Admission replay
+  /// re-reserves exactly these shares before re-committing load/memory,
+  /// so a cached plan reconstructs the same budget state.
+  std::vector<std::uint32_t> tileTdmSlots;
 
   /// Dedicated FSL links this mapping's inter-tile channels occupy
   /// (one per inter-tile channel). ChannelRoute::fslIndex is allocated
@@ -93,6 +98,12 @@ struct MappingOptions {
   /// footprint leaves residual tiles for the applications mapped after
   /// it (see mapping/workload.hpp).
   std::uint32_t maxTiles = 0;
+  /// TDM slots to reserve on every claimed tile (0 = claim the whole
+  /// wheel, the exclusive pre-TDM behavior; clamped to the wheel size).
+  /// With k slots of an S-slot wheel, every actor's WCET is inflated to
+  /// ceil(wcet * S / k) + wheelOverheadCycles before analysis, so the
+  /// guarantee is a valid lower bound whatever co-residents do.
+  std::uint32_t tdmSlots = 0;
 };
 
 /// Intermediate per-tile accounting used by binding and generation.

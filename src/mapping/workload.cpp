@@ -178,6 +178,13 @@ std::optional<MappingResult> mapOntoBudget(const AppAnalysisCache& cache,
     }
   }
 
+  // Record the TDM shares the binder reserved; admission replay
+  // re-reserves exactly these before re-committing load/memory.
+  result.mapping.tileTdmSlots.assign(arch.tileCount(), 0);
+  for (TileId t = 0; t < arch.tileCount(); ++t) {
+    result.mapping.tileTdmSlots[t] = work.tileSlots(t, client);
+  }
+
   // WCETs per actor on its bound tile (from the per-application cache;
   // bindActors only places actors on tiles they have an implementation
   // for, so the lookups always hit).
@@ -189,6 +196,19 @@ std::optional<MappingResult> mapOntoBudget(const AppAnalysisCache& cache,
                        " bound to a tile without an implementation");
     }
     wcet[a] = it->second[a];
+    // Conservative TDM accounting: holding k of the wheel's S slots,
+    // a firing of raw length w needs at most ceil(w / (k/S)) cycles of
+    // wall-clock wheel time plus the slot-switch overhead, REGARDLESS
+    // of what co-resident applications run in the other slots. The
+    // analyzed throughput under these inflated WCETs is therefore a
+    // composable lower bound. A fully-held wheel stays uninflated (the
+    // exclusive pre-TDM case).
+    const platform::TileId t = binding->actorToTile[a];
+    const std::uint32_t held = work.tileSlots(t, client);
+    const std::uint32_t wheel = work.tileSlotCapacity(t);
+    if (held != 0 && held < wheel) {
+      wcet[a] = (wcet[a] * wheel + held - 1) / held + arch.tile(t).tdm.wheelOverheadCycles;
+    }
   }
 
   // Buffer distribution: start from scaled lower bounds, grow until the

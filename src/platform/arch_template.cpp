@@ -23,6 +23,8 @@ Architecture generateFromTemplate(const TemplateRequest& request) {
     }
     tile.processorType = "microblaze";
     tile.memory = request.tileMemory;
+    tile.tdm.slotsPerWheel = request.tdmSlotsPerWheel;
+    tile.tdm.wheelOverheadCycles = request.tdmWheelOverheadCycles;
     arch.addTile(tile);
   }
   for (std::size_t i = 0; i < request.hardwareIpTiles.size(); ++i) {
@@ -68,6 +70,13 @@ TemplateRequest heterogeneousPreset(std::uint32_t tileCount, std::vector<std::st
   request.tileCount = tileCount;
   request.interconnect = InterconnectKind::Fsl;
   request.hardwareIpTiles = std::move(ipTypes);
+  return request;
+}
+
+TemplateRequest withTdm(TemplateRequest request, std::uint32_t slotsPerWheel,
+                        std::uint32_t wheelOverheadCycles) {
+  request.tdmSlotsPerWheel = slotsPerWheel;
+  request.tdmWheelOverheadCycles = wheelOverheadCycles;
   return request;
 }
 

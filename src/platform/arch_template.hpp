@@ -21,19 +21,21 @@
 
 namespace mamps::platform {
 
+/// The knobs of the architecture template: what to instantiate and how
+/// to parameterize it. Pass to generateFromTemplate.
 struct TemplateRequest {
-  std::uint32_t tileCount = 2;
+  std::uint32_t tileCount = 2;  ///< processor tiles (master + slaves)
+  /// Interconnect family: dedicated FSL links or the SDM mesh NoC.
   InterconnectKind interconnect = InterconnectKind::Fsl;
   /// Default memory per tile; the platform generator later shrinks this
   /// to the actually required sizes.
   MemorySpec tileMemory{128 * 1024, 128 * 1024};
   /// Use CommAssist tiles instead of plain master/slave tiles.
   bool withCommAssist = false;
-  /// NoC knobs (ignored for FSL).
-  std::uint32_t nocWiresPerLink = 32;
-  std::uint32_t nocHopLatencyCycles = 3;
-  std::uint32_t nocConnectionBufferWords = 4;
-  /// FSL knobs (ignored for NoC).
+  std::uint32_t nocWiresPerLink = 32;        ///< NoC knob (ignored for FSL)
+  std::uint32_t nocHopLatencyCycles = 3;     ///< NoC knob (ignored for FSL)
+  std::uint32_t nocConnectionBufferWords = 4;  ///< NoC knob (ignored for FSL)
+  /// FSL FIFO depth in words (ignored for NoC).
   std::uint32_t fslFifoDepthWords = 16;
   /// Platform-wide cap on live FSL links (0 = derive from the
   /// per-tile port limit; see platform::FslConfig::maxLinks).
@@ -47,6 +49,13 @@ struct TemplateRequest {
   std::vector<std::string> hardwareIpTiles{};
   /// Memory of each hardware IP tile (scratch buffers only).
   MemorySpec ipTileMemory{8 * 1024, 8 * 1024};
+  /// TDM slot wheel installed on every processor tile (hardware IP
+  /// tiles stay exclusive — they run no scheduler). The default 1-slot
+  /// wheel reproduces the pre-TDM exclusive platform exactly.
+  std::uint32_t tdmSlotsPerWheel = 1;
+  /// Worst-case slot-switch overhead charged once per firing on shared
+  /// wheels (platform::TdmConfig::wheelOverheadCycles).
+  std::uint32_t tdmWheelOverheadCycles = 0;
 
   /// Total tiles the template will instantiate (processor + IP tiles);
   /// also the tile count the generated architecture's name and the NoC
@@ -58,6 +67,8 @@ struct TemplateRequest {
 
 /// Instantiate the architecture template. Tile 0 is always the master;
 /// hardware IP tiles (if any) get the highest tile ids.
+/// @param request the template knobs
+/// @return the generated (validated) architecture
 [[nodiscard]] Architecture generateFromTemplate(const TemplateRequest& request);
 
 /// Scenario-suite preset: a larger SDM mesh NoC (default 12 tiles, 3x4
@@ -78,5 +89,16 @@ struct TemplateRequest {
 /// @return the request; pass to generateFromTemplate
 [[nodiscard]] TemplateRequest heterogeneousPreset(
     std::uint32_t tileCount = 3, std::vector<std::string> ipTypes = {"accel"});
+
+/// Install a TDM slot wheel on every processor tile of `request`
+/// (`request.tdmSlotsPerWheel` / `tdmWheelOverheadCycles`); a
+/// convenience for turning any preset into its processor-shared
+/// variant: `withTdm(largeMeshPreset(12), 4, 200)`.
+/// @param request the request to modify
+/// @param slotsPerWheel slots per wheel revolution (>= 1)
+/// @param wheelOverheadCycles per-firing slot-switch overhead
+/// @return the modified request
+[[nodiscard]] TemplateRequest withTdm(TemplateRequest request, std::uint32_t slotsPerWheel,
+                                      std::uint32_t wheelOverheadCycles = 0);
 
 }  // namespace mamps::platform

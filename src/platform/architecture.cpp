@@ -77,6 +77,13 @@ void Architecture::validate() const {
     if (t.kind != TileKind::HardwareIp && t.processorType.empty()) {
       throw ModelError("tile " + t.name + " has no processor type");
     }
+    if (t.tdm.slotsPerWheel == 0) {
+      throw ModelError("tile " + t.name + " has a zero-slot TDM wheel");
+    }
+    if (t.kind == TileKind::HardwareIp && t.tdm.shared()) {
+      throw ModelError("tile " + t.name +
+                       " is a hardware IP tile and cannot run a TDM scheduler");
+    }
   }
   if (masters > 1) {
     throw ModelError("at most one master tile is allowed (peripherals are not shared)");

@@ -47,11 +47,40 @@ struct MemorySpec {
   [[nodiscard]] std::uint32_t totalBytes() const { return instrBytes + dataBytes; }
 };
 
+/// TDM slot wheel of a software tile: the processor cycles round-robin
+/// through `slotsPerWheel` equal slices, and an application that
+/// reserves k slots owns the fraction k/slotsPerWheel of the processor.
+/// The composition argument mirrors the NoC's SDM wires: slots are
+/// disjoint in time the way wires are disjoint in space, so co-resident
+/// applications cannot interfere with each other's reserved slices.
+/// Conservative accounting (mapping::mapOntoBudget) inflates each
+/// actor's WCET to ceil(wcet * slotsPerWheel / k) + wheelOverheadCycles,
+/// a valid response-time bound regardless of what the co-residents do.
+/// The default (one slot, no overhead) is an exclusive processor and
+/// reproduces the pre-TDM platform exactly.
+struct TdmConfig {
+  /// Slices per wheel revolution; 1 = exclusive (no sharing).
+  std::uint32_t slotsPerWheel = 1;
+  /// Worst-case extra cycles a firing waits per wheel revolution
+  /// (slot-switch context save/restore); charged once per firing.
+  std::uint32_t wheelOverheadCycles = 0;
+
+  /// Can this wheel host more than one client?
+  /// @return true when the wheel has more than one slot
+  [[nodiscard]] bool shared() const { return slotsPerWheel > 1; }
+
+  /// Field-for-field equality (XML round-trip and pristine checks).
+  /// @param other the config to compare against
+  /// @return true when every field matches
+  [[nodiscard]] bool operator==(const TdmConfig& other) const = default;
+};
+
 struct Tile {
   std::string name;
   TileKind kind = TileKind::Slave;
   std::string processorType = "microblaze";  ///< matches ActorImplementation::processorType
   MemorySpec memory{};
+  TdmConfig tdm{};  ///< TDM slot wheel (default: exclusive processor)
 
   [[nodiscard]] bool hasPeripherals() const { return kind == TileKind::Master; }
   [[nodiscard]] bool hasCommAssist() const { return kind == TileKind::CommAssist; }

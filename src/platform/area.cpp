@@ -20,6 +20,11 @@ std::uint32_t tileSlices(const Tile& tile, const AreaModel& model) {
       slices += model.hardwareIpSlices;
       break;
   }
+  // TDM wheel hardware on software tiles: slot contexts + scheduler,
+  // charged per slot beyond the (free) exclusive first slot.
+  if (tile.kind != TileKind::HardwareIp && tile.tdm.slotsPerWheel > 1) {
+    slices += (tile.tdm.slotsPerWheel - 1) * model.tdmSlotSlices;
+  }
   return slices;
 }
 

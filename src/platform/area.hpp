@@ -13,13 +13,19 @@
 
 namespace mamps::platform {
 
+/// Per-component slice constants of the area model; override members to
+/// recalibrate for a different device family.
 struct AreaModel {
   // Tiles.
   std::uint32_t microblazeSlices = 1400;   ///< Microblaze soft core
   std::uint32_t peripheralSlices = 600;    ///< UART/timer/IO block (master tile)
   std::uint32_t commAssistSlices = 800;    ///< CA of [13]
-  std::uint32_t networkInterfaceSlices = 150;
+  std::uint32_t networkInterfaceSlices = 150;  ///< standardized NI per tile
   std::uint32_t hardwareIpSlices = 500;    ///< placeholder for an IP actor
+  /// Per extra TDM slot beyond the first: slot context registers plus
+  /// the wheel scheduler's compare/rotate logic. An exclusive (1-slot)
+  /// tile pays nothing, keeping pre-TDM area numbers unchanged.
+  std::uint32_t tdmSlotSlices = 40;
 
   // Interconnect.
   std::uint32_t fslLinkSlices = 50;            ///< one Xilinx FSL
@@ -30,20 +36,35 @@ struct AreaModel {
   double flowControlOverhead = 0.12;
 };
 
-/// Slices of one tile (PE + NI + optional peripherals/CA); memories map
-/// to BRAM, not slices.
+/// Slices of one tile (PE + NI + optional peripherals/CA, plus the TDM
+/// wheel scheduler on shared software tiles); memories map to BRAM,
+/// not slices.
+/// @param tile the tile to price
+/// @param model the slice constants
+/// @return the tile's slice count
 [[nodiscard]] std::uint32_t tileSlices(const Tile& tile, const AreaModel& model = {});
 
 /// Slices of one NoC router with the given configuration.
+/// @param config the NoC configuration (wires per link, flow control)
+/// @param model the slice constants
+/// @return the router's slice count
 [[nodiscard]] std::uint32_t nocRouterSlices(const NocConfig& config, const AreaModel& model = {});
 
 /// Slices of the whole interconnect: `fslLinkCount` FSLs, or one router
 /// per mesh position.
+/// @param arch the architecture whose interconnect to price
+/// @param fslLinkCount live FSL links (ignored for a NoC)
+/// @param model the slice constants
+/// @return the interconnect's slice count
 [[nodiscard]] std::uint32_t interconnectSlices(const Architecture& arch,
                                                std::uint32_t fslLinkCount,
                                                const AreaModel& model = {});
 
 /// Slices of the full platform (tiles + interconnect).
+/// @param arch the architecture to price
+/// @param fslLinkCount live FSL links (ignored for a NoC)
+/// @param model the slice constants
+/// @return the platform's total slice count
 [[nodiscard]] std::uint32_t platformSlices(const Architecture& arch, std::uint32_t fslLinkCount,
                                            const AreaModel& model = {});
 

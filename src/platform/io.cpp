@@ -19,6 +19,12 @@ std::string architectureToXml(const Architecture& arch) {
     te.setAttribute("processorType", t.processorType);
     te.setAttribute("instrMem", std::to_string(t.memory.instrBytes));
     te.setAttribute("dataMem", std::to_string(t.memory.dataBytes));
+    // TDM attributes are written only when non-default so pre-TDM
+    // files round-trip byte-identically.
+    if (t.tdm != TdmConfig{}) {
+      te.setAttribute("tdmSlots", std::to_string(t.tdm.slotsPerWheel));
+      te.setAttribute("tdmOverhead", std::to_string(t.tdm.wheelOverheadCycles));
+    }
   }
 
   if (arch.interconnect() == InterconnectKind::NocMesh) {
@@ -56,6 +62,10 @@ Architecture architectureFromString(const std::string& text) {
         static_cast<std::uint32_t>(parseU64(te->attribute("instrMem").value_or("65536")));
     tile.memory.dataBytes =
         static_cast<std::uint32_t>(parseU64(te->attribute("dataMem").value_or("65536")));
+    tile.tdm.slotsPerWheel =
+        static_cast<std::uint32_t>(parseU64(te->attribute("tdmSlots").value_or("1")));
+    tile.tdm.wheelOverheadCycles =
+        static_cast<std::uint32_t>(parseU64(te->attribute("tdmOverhead").value_or("0")));
     arch.addTile(std::move(tile));
   }
 

@@ -38,8 +38,41 @@ void ResourceBudget::commitBaseline(std::uint32_t instrBytes, std::uint32_t data
 }
 
 bool ResourceBudget::tileAvailable(TileId tile, std::uint32_t client) const {
-  const TileBudget& budget = tiles_.at(tile);
-  return budget.owner == TileBudget::kNoClient || budget.owner == client;
+  return tileSlots(tile, client) > 0 || freeTileSlots(tile) > 0;
+}
+
+std::uint32_t ResourceBudget::tileSlotCapacity(TileId tile) const {
+  (void)tiles_.at(tile);
+  const std::uint32_t slots = arch_->tile(tile).tdm.slotsPerWheel;
+  return slots == 0 ? 1 : slots;
+}
+
+std::uint32_t ResourceBudget::freeTileSlots(TileId tile) const {
+  const std::uint32_t capacity = tileSlotCapacity(tile);
+  const std::uint32_t used = tiles_.at(tile).slotsUsed();
+  return used >= capacity ? 0 : capacity - used;
+}
+
+std::uint32_t ResourceBudget::tileSlots(TileId tile, std::uint32_t client) const {
+  const auto& owners = tiles_.at(tile).slotOwners;
+  const auto it = owners.find(client);
+  return it == owners.end() ? 0 : it->second;
+}
+
+void ResourceBudget::reserveTileSlots(TileId tile, std::uint32_t client, std::uint32_t slots) {
+  if (slots == 0) {
+    throw ModelError("ResourceBudget::reserveTileSlots: cannot reserve zero slots");
+  }
+  if (client == TileBudget::kNoClient) {
+    throw Error("ResourceBudget::reserveTileSlots: invalid client id");
+  }
+  if (slots > freeTileSlots(tile)) {
+    throw Error("ResourceBudget::reserveTileSlots: tile " + arch_->tile(tile).name + " has " +
+                std::to_string(freeTileSlots(tile)) + " free TDM slots, " + std::to_string(slots) +
+                " requested");
+  }
+  tiles_[tile].slotOwners[client] += slots;
+  ledgers_[client].tiles[tile].slots += slots;
 }
 
 std::uint32_t ResourceBudget::freeInstrBytes(TileId tile) const {
@@ -59,19 +92,28 @@ void ResourceBudget::commitTile(TileId tile, std::uint32_t client, std::uint64_t
   if (client == TileBudget::kNoClient) {
     throw Error("ResourceBudget::commitTile: invalid client id");
   }
-  if (!tileAvailable(tile, client)) {
+  // Slot-oblivious callers (the pre-TDM exclusive protocol) claim the
+  // whole wheel on first touch; a wheel partially held by others must
+  // be reserved explicitly via reserveTileSlots first. The claim is
+  // deferred past the memory check so a rejected commit changes
+  // nothing (the all-or-nothing contract).
+  const bool claimWholeWheel = tileSlots(tile, client) == 0;
+  if (claimWholeWheel && !tiles_.at(tile).slotOwners.empty()) {
     throw Error("ResourceBudget::commitTile: tile " + arch_->tile(tile).name +
-                " is claimed by another client");
+                " is claimed by another client and " + std::to_string(client) +
+                " holds no TDM slots on it");
   }
   if (instrBytes > freeInstrBytes(tile) || dataBytes > freeDataBytes(tile)) {
     throw Error("ResourceBudget::commitTile: reservation exceeds the residual memory of tile " +
                 arch_->tile(tile).name);
   }
+  if (claimWholeWheel) {
+    reserveTileSlots(tile, client, tileSlotCapacity(tile));
+  }
   TileBudget& budget = tiles_[tile];
   budget.loadCycles += loadCycles;
   budget.instrBytes += instrBytes;
   budget.dataBytes += dataBytes;
-  budget.owner = client;
   ClientLedger::TileShare& share = ledgers_[client].tiles[tile];
   share.loadCycles += loadCycles;
   share.instrBytes += instrBytes;
@@ -157,7 +199,13 @@ void ResourceBudget::release(std::uint32_t client) {
     budget.loadCycles -= share.loadCycles;
     budget.instrBytes -= share.instrBytes;
     budget.dataBytes -= share.dataBytes;
-    budget.owner = TileBudget::kNoClient;  // back to the (unclaimed) baseline
+    const auto owned = budget.slotOwners.find(client);
+    if (owned != budget.slotOwners.end()) {
+      owned->second -= std::min(owned->second, share.slots);
+      if (owned->second == 0) {
+        budget.slotOwners.erase(owned);  // back to the (unclaimed) baseline
+      }
+    }
   }
   for (const auto& [link, wires] : ledger.wires) {
     usedWires_[link] -= wires;

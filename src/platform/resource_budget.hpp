@@ -6,10 +6,11 @@
 // tile processor time, instruction/data memory, SDM wires on NoC links,
 // dedicated FSL links — is committed here, so the next application of
 // the workload is mapped onto the *residual* budget. The guarantees
-// compose because every commitment is exclusive: a tile executes actors
-// of one application only, an SDM wire belongs to one connection, and
-// an FSL link is point-to-point by construction, so no application can
-// interfere with another's analyzed schedule.
+// compose because every commitment is disjoint: a tile's TDM slot wheel
+// grants each application its own time slices (an exclusive 1-slot
+// wheel is the degenerate case), an SDM wire belongs to one connection,
+// and an FSL link is point-to-point by construction, so no application
+// can interfere with another's analyzed schedule.
 //
 // The budget is a value type: copy it to trial a mapping attempt and
 // assign the copy back to commit, or drop it to roll back.
@@ -36,16 +37,28 @@ namespace mamps::platform {
 
 /// Committed reservations on one tile of the shared platform.
 struct TileBudget {
-  /// Sentinel client id: the tile is not claimed by any client.
+  /// Sentinel client id: no valid client carries this id.
   static constexpr std::uint32_t kNoClient = 0xffffffff;
 
   std::uint64_t loadCycles = 0;  ///< committed processor cycles per iteration
   std::uint32_t instrBytes = 0;  ///< committed instruction memory
   std::uint32_t dataBytes = 0;   ///< committed data memory
-  /// Owning client (kNoClient = unclaimed). A tile is granted to one
-  /// client exclusively: its static-order schedule would otherwise be
-  /// invalidated by another application's firings.
-  std::uint32_t owner = kNoClient;
+  /// TDM slot reservations: client -> slots held on this tile's wheel.
+  /// Empty = unclaimed. A client's static-order schedule runs inside
+  /// its own slots only, so co-resident clients cannot invalidate it;
+  /// an exclusive (1-slot) wheel degenerates to the pre-TDM one-owner
+  /// rule. std::map keeps iteration (and equality) deterministic.
+  std::map<std::uint32_t, std::uint32_t> slotOwners;
+
+  /// Slots currently reserved across all clients.
+  /// @return the sum of every client's held slots
+  [[nodiscard]] std::uint32_t slotsUsed() const {
+    std::uint32_t used = 0;
+    for (const auto& [client, slots] : slotOwners) {
+      used += slots;
+    }
+    return used;
+  }
 
   /// Field-for-field equality (pristine-restoration checks).
   /// @param other the tile budget to compare against
@@ -64,6 +77,7 @@ struct ClientLedger {
     std::uint64_t loadCycles = 0;  ///< committed processor cycles
     std::uint32_t instrBytes = 0;  ///< committed instruction memory
     std::uint32_t dataBytes = 0;   ///< committed data memory
+    std::uint32_t slots = 0;       ///< held TDM slots on the tile's wheel
 
     /// Field-for-field equality.
     /// @param other the share to compare against
@@ -116,9 +130,36 @@ class ResourceBudget {
   /// May `client` place work on the tile?
   /// @param tile the tile to query
   /// @param client the asking client id
-  /// @return true when the tile is unclaimed or already owned by
-  ///   `client`
+  /// @return true when `client` already holds slots on the tile's TDM
+  ///   wheel, or free slots remain for it to reserve
   [[nodiscard]] bool tileAvailable(TileId tile, std::uint32_t client) const;
+
+  /// The tile's TDM wheel size (TdmConfig::slotsPerWheel, >= 1).
+  /// @param tile the tile to query
+  /// @return the number of slots on the wheel
+  [[nodiscard]] std::uint32_t tileSlotCapacity(TileId tile) const;
+
+  /// Unreserved slots on the tile's TDM wheel.
+  /// @param tile the tile to query
+  /// @return wheel capacity minus every client's held slots
+  [[nodiscard]] std::uint32_t freeTileSlots(TileId tile) const;
+
+  /// Slots `client` holds on the tile's TDM wheel.
+  /// @param tile the tile to query
+  /// @param client the client to look up
+  /// @return the held slot count (0 = no reservation)
+  [[nodiscard]] std::uint32_t tileSlots(TileId tile, std::uint32_t client) const;
+
+  /// Reserve `slots` additional TDM slots on the tile's wheel for
+  /// `client` (recorded in the client's ledger; release() hands them
+  /// back). The processor fraction a client owns is its held slots over
+  /// the wheel size.
+  /// @param tile the tile to reserve on
+  /// @param client the reserving client id (not kNoClient)
+  /// @param slots slots to add (> 0)
+  /// @throws Error on a zero-slot request, an invalid client, or when
+  ///   fewer than `slots` slots are free (nothing committed)
+  void reserveTileSlots(TileId tile, std::uint32_t client, std::uint32_t slots);
 
   /// Residual instruction memory of a tile.
   /// @param tile the tile to query
@@ -129,14 +170,19 @@ class ResourceBudget {
   /// @return capacity minus committed data bytes (0 when full)
   [[nodiscard]] std::uint32_t freeDataBytes(TileId tile) const;
 
-  /// Commit a reservation and claim the tile for `client`.
+  /// Commit a load/memory reservation for `client` on a tile it holds
+  /// TDM slots on. For callers that never touch slots (the pre-TDM
+  /// exclusive protocol), a commit to a completely unreserved wheel
+  /// implicitly reserves ALL of its slots for `client` — on a 1-slot
+  /// wheel that is exactly the old one-owner semantics.
   /// @param tile the tile to reserve on
   /// @param client the claiming client id (not kNoClient)
   /// @param loadCycles processor cycles per iteration to add
   /// @param instrBytes instruction memory to add
   /// @param dataBytes data memory to add
-  /// @throws Error when the tile is owned by a different client or the
-  ///   reservation exceeds the residual memory
+  /// @throws Error when `client` holds no slots and the wheel is
+  ///   partially reserved by others, or the reservation exceeds the
+  ///   residual memory
   void commitTile(TileId tile, std::uint32_t client, std::uint64_t loadCycles,
                   std::uint32_t instrBytes, std::uint32_t dataBytes);
 
@@ -197,9 +243,9 @@ class ResourceBudget {
   [[nodiscard]] const ClientLedger* ledger(std::uint32_t client) const;
 
   /// Tear down every reservation `client` holds: tile load/memory goes
-  /// back to the residual (the tiles become unclaimed; the platform
-  /// baseline stays), SDM wires return to their links, and FSL links
-  /// return to the free-list. After all clients of a budget are
+  /// back to the residual (the platform baseline stays), TDM slots
+  /// return to their wheels, SDM wires return to their links, and FSL
+  /// links return to the free-list. After all clients of a budget are
   /// released, the budget equals a freshly constructed one with the
   /// same baseline, field for field.
   /// @param client the departing client id

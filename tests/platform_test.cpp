@@ -69,6 +69,44 @@ TEST(ArchitectureTest, NocMeshMustCoverTiles) {
   EXPECT_NO_THROW(arch.validate());
 }
 
+TEST(ArchitectureTest, ZeroSlotTdmWheelIsRejected) {
+  Architecture arch;
+  Tile t;
+  t.name = "t0";
+  t.tdm.slotsPerWheel = 0;
+  arch.addTile(t);
+  EXPECT_THROW(arch.validate(), ModelError);
+}
+
+TEST(ArchitectureTest, HardwareIpCannotRunATdmScheduler) {
+  Architecture arch;
+  Tile ip;
+  ip.name = "accel";
+  ip.kind = TileKind::HardwareIp;
+  ip.tdm.slotsPerWheel = 4;
+  arch.addTile(ip);
+  EXPECT_THROW(arch.validate(), ModelError);
+  // The degenerate 1-slot wheel (no sharing) stays legal on IP tiles.
+  Architecture ok;
+  ip.tdm.slotsPerWheel = 1;
+  ok.addTile(ip);
+  EXPECT_NO_THROW(ok.validate());
+}
+
+TEST(ArchitectureTest, WithTdmConfiguresProcessorTilesOnly) {
+  const Architecture arch =
+      generateFromTemplate(withTdm(heterogeneousPreset(4, {"accel"}), 4, 200));
+  for (TileId t = 0; t < arch.tileCount(); ++t) {
+    if (arch.tile(t).kind == TileKind::HardwareIp) {
+      EXPECT_EQ(arch.tile(t).tdm, TdmConfig{});
+    } else {
+      EXPECT_EQ(arch.tile(t).tdm.slotsPerWheel, 4u);
+      EXPECT_EQ(arch.tile(t).tdm.wheelOverheadCycles, 200u);
+      EXPECT_TRUE(arch.tile(t).tdm.shared());
+    }
+  }
+}
+
 TEST(ArchitectureTest, KindNamesRoundTrip) {
   for (const TileKind kind : {TileKind::Master, TileKind::Slave, TileKind::CommAssist,
                               TileKind::HardwareIp}) {
@@ -268,6 +306,24 @@ TEST(AreaTest, TileKindsHaveDistinctAreas) {
   EXPECT_LT(tileSlices(ip), tileSlices(slave));
 }
 
+TEST(AreaTest, TdmWheelChargesPerSlotSlices) {
+  // A shared wheel is not free silicon: the slot table, the timer, and
+  // the per-slot context cost slices. The model charges one
+  // tdmSlotSlices term per slot beyond the first, so a 1-slot (i.e.
+  // unshared) tile pays nothing extra.
+  Tile plain{.name = "p", .kind = TileKind::Slave};
+  Tile shared = plain;
+  shared.tdm.slotsPerWheel = 4;
+  const AreaModel model;
+  EXPECT_EQ(tileSlices(plain, model) + 3 * model.tdmSlotSlices, tileSlices(shared, model));
+
+  // Hardware IP tiles never run the scheduler and never pay for it.
+  Tile ip{.name = "i", .kind = TileKind::HardwareIp};
+  Tile ipTdm = ip;
+  ipTdm.tdm.slotsPerWheel = 4;  // ignored by the model (validate rejects it anyway)
+  EXPECT_EQ(tileSlices(ip, model), tileSlices(ipTdm, model));
+}
+
 TEST(AreaTest, PlatformAreaSumsComponents) {
   TemplateRequest request;
   request.tileCount = 2;
@@ -317,6 +373,37 @@ TEST(PlatformIoTest, ArchitectureRoundTripNoc) {
   EXPECT_EQ(reparsed.noc().cols, original.noc().cols);
   EXPECT_EQ(reparsed.noc().wiresPerLink, 16u);
   EXPECT_EQ(reparsed.noc().flowControl, true);
+}
+
+TEST(PlatformIoTest, TdmConfigRoundTripsBitIdentically) {
+  // write -> read -> write: the serialized form is a fixed point, so
+  // TDM attributes survive any number of save/load cycles unchanged.
+  const Architecture original =
+      generateFromTemplate(withTdm(heterogeneousPreset(4, {"accel"}), 4, 200));
+  const std::string xml = architectureToXml(original);
+  const Architecture reparsed = architectureFromString(xml);
+  ASSERT_EQ(reparsed.tileCount(), original.tileCount());
+  for (TileId t = 0; t < original.tileCount(); ++t) {
+    EXPECT_EQ(reparsed.tile(t).tdm, original.tile(t).tdm);
+  }
+  EXPECT_EQ(architectureToXml(reparsed), xml);
+}
+
+TEST(PlatformIoTest, AbsentTdmAttributesDefaultToAnExclusiveTile) {
+  // Pre-TDM architecture files carry no tdm attributes; they must load
+  // as 1-slot (exclusive) wheels, and writing them back must not
+  // invent the attributes — old files stay byte-stable.
+  TemplateRequest request;
+  request.tileCount = 3;
+  const Architecture original = generateFromTemplate(request);
+  const std::string xml = architectureToXml(original);
+  EXPECT_EQ(xml.find("tdmSlots"), std::string::npos);
+  const Architecture reparsed = architectureFromString(xml);
+  for (TileId t = 0; t < reparsed.tileCount(); ++t) {
+    EXPECT_EQ(reparsed.tile(t).tdm, TdmConfig{});
+    EXPECT_FALSE(reparsed.tile(t).tdm.shared());
+  }
+  EXPECT_EQ(architectureToXml(reparsed), xml);
 }
 
 TEST(PlatformIoTest, MalformedArchitectureThrows) {

@@ -27,9 +27,10 @@ using platform::TileId;
 
 TEST(UseCaseRegistryTest, RegistryIsStableAndValid) {
   const auto useCases = builtinUseCases();
-  ASSERT_EQ(useCases.size(), 2u);
+  ASSERT_EQ(useCases.size(), 3u);
   EXPECT_EQ(useCases[0].name, "mjpeg_h263_mesh");
   EXPECT_EQ(useCases[1].name, "cd2dat_ring_hetero");
+  EXPECT_EQ(useCases[2].name, "suite_tdm_mesh");
   for (const UseCase& uc : useCases) {
     SCOPED_TRACE(uc.name);
     EXPECT_FALSE(uc.description.empty());
@@ -81,21 +82,29 @@ TEST(UseCaseFlowTest, EveryUseCaseCoMapsWithAllConstraintsMet) {
     const WorkloadResult workload = mapUseCase(uc);
     ASSERT_TRUE(workload.feasible());
     EXPECT_TRUE(workload.meetsConstraints());
-    // Every guarantee runs on the MCR fast path.
-    std::set<TileId> claimed;
+    // Every guarantee runs on the MCR fast path, and the TDM slot
+    // shares compose: summed over the workload, no tile's wheel is
+    // oversubscribed (an exclusive 1-slot wheel degenerates to the
+    // one-application-per-tile rule).
+    const auto arch = platform::generateFromTemplate(uc.platform);
+    std::vector<std::uint32_t> slotsClaimed(arch.tileCount(), 0);
     for (std::size_t i = 0; i < uc.apps.size(); ++i) {
       SCOPED_TRACE(uc.apps[i].name);
       const auto& result = *workload.apps[i];
       EXPECT_TRUE(result.meetsConstraint);
       EXPECT_EQ(result.throughput.engine, analysis::ThroughputEngine::Mcr);
-      // Tiles are granted exclusively: the co-mapped guarantees compose.
+      ASSERT_EQ(result.mapping.tileTdmSlots.size(), arch.tileCount());
       for (const TileId t : result.mapping.actorToTile) {
-        EXPECT_FALSE(claimed.contains(t)) << "tile " << t << " hosts two applications";
+        EXPECT_GT(result.mapping.tileTdmSlots[t], 0u)
+            << "tile " << t << " hosts actors without a slot reservation";
       }
-      for (const TileId t : std::set<TileId>(result.mapping.actorToTile.begin(),
-                                             result.mapping.actorToTile.end())) {
-        claimed.insert(t);
+      for (TileId t = 0; t < arch.tileCount(); ++t) {
+        slotsClaimed[t] += result.mapping.tileTdmSlots[t];
       }
+    }
+    for (TileId t = 0; t < arch.tileCount(); ++t) {
+      EXPECT_LE(slotsClaimed[t], arch.tile(t).tdm.slotsPerWheel)
+          << "tile " << t << "'s TDM wheel is oversubscribed";
     }
   }
 }

@@ -51,13 +51,16 @@ TEST(ResourceBudgetTest, BaselineChargesSoftwareTilesOnly) {
 }
 
 TEST(ResourceBudgetTest, CommitClaimsTheTileExclusively) {
+  // On the default 1-slot TDM wheel, a slot-oblivious commit claims the
+  // whole wheel: the pre-TDM exclusive-ownership semantics.
   const auto arch = stockArch(2, InterconnectKind::Fsl);
   ResourceBudget budget(arch);
   budget.commitTile(0, /*client=*/0, 100, 1024, 512);
   EXPECT_TRUE(budget.tileAvailable(0, 0));
   EXPECT_FALSE(budget.tileAvailable(0, 1));
   EXPECT_TRUE(budget.tileAvailable(1, 1));
-  EXPECT_EQ(budget.tiles()[0].owner, 0u);
+  EXPECT_EQ(budget.tileSlots(0, 0), 1u);
+  EXPECT_EQ(budget.freeTileSlots(0), 0u);
   EXPECT_EQ(budget.tiles()[0].loadCycles, 100u);
   EXPECT_THROW(budget.commitTile(0, 1, 1, 1, 1), Error);
   EXPECT_THROW(budget.commitTile(0, TileBudget::kNoClient, 1, 1, 1), Error);
