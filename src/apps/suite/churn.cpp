@@ -1,5 +1,7 @@
 #include "apps/suite/churn.hpp"
 
+#include <algorithm>
+
 #include "apps/suite/suite.hpp"
 #include "support/rng.hpp"
 
@@ -60,6 +62,7 @@ ChurnResult runChurnTrace(mapping::AdmissionController& controller,
   Rng rng(options.seed);
   ChurnResult result;
   std::vector<mapping::ClientId> residents = controller.residentIds();
+  std::vector<platform::TileId> failedTiles;
 
   const auto departOne = [&](std::size_t pick) {
     ChurnEvent event;
@@ -70,7 +73,58 @@ ChurnResult runChurnTrace(mapping::AdmissionController& controller,
     result.trace.push_back(event);
   };
 
+  const auto repairOne = [&](std::size_t pick) {
+    ChurnEvent event;
+    event.kind = ChurnEvent::Kind::Repair;
+    event.tile = failedTiles[pick];
+    controller.repair(mapping::FaultEvent::tileFailure(failedTiles[pick]));
+    failedTiles.erase(failedTiles.begin() + static_cast<std::ptrdiff_t>(pick));
+    result.trace.push_back(event);
+  };
+
+  // Every fault-churn draw is gated behind the fault knobs so a trace
+  // with the default (fault-free) options consumes exactly the legacy
+  // RNG sequence — seeded arrival/departure traces stay bit-identical.
+  const bool faultsEnabled = options.faultChance > 0 || options.repairChance > 0;
+  const std::size_t tileCount = controller.budget().arch()->tileCount();
+
   for (std::size_t i = 0; i < options.events; ++i) {
+    if (faultsEnabled) {
+      if (!failedTiles.empty() && rng.chance(options.repairChance)) {
+        repairOne(static_cast<std::size_t>(rng.range(0, failedTiles.size() - 1)));
+        continue;
+      }
+      // Keep at least one tile healthy so the platform never fully
+      // disappears underneath the trace.
+      if (failedTiles.size() + 1 < tileCount && rng.chance(options.faultChance)) {
+        std::vector<platform::TileId> healthy;
+        for (platform::TileId t = 0; t < tileCount; ++t) {
+          if (!controller.budget().tileFailed(t)) {
+            healthy.push_back(t);
+          }
+        }
+        const platform::TileId tile =
+            healthy[static_cast<std::size_t>(rng.range(0, healthy.size() - 1))];
+        const mapping::RecoveryReport report =
+            controller.injectFault(mapping::FaultEvent::tileFailure(tile));
+        failedTiles.push_back(tile);
+        ChurnEvent event;
+        event.kind = ChurnEvent::Kind::Fault;
+        event.tile = tile;
+        event.seconds = report.seconds;
+        event.strandedCount = report.stranded.size();
+        event.recoveredCount = report.recovered.size();
+        event.degradedCount = report.degraded.size();
+        // Degraded clients are gone; recovered ones keep their id (and
+        // stay in `residents`).
+        for (const mapping::ClientId lost : report.degraded) {
+          residents.erase(std::remove(residents.begin(), residents.end(), lost),
+                          residents.end());
+        }
+        result.trace.push_back(event);
+        continue;
+      }
+    }
     if (!residents.empty() && rng.chance(options.departChance)) {
       departOne(static_cast<std::size_t>(rng.range(0, residents.size() - 1)));
       continue;
@@ -91,6 +145,12 @@ ChurnResult runChurnTrace(mapping::AdmissionController& controller,
     result.trace.push_back(event);
   }
 
+  // Repair every outstanding failure, then drain: fail -> repair ->
+  // drain must land on bit-identical pristine, so fault churn leaves
+  // the conservation verdict exactly as strong as before.
+  while (!failedTiles.empty()) {
+    repairOne(failedTiles.size() - 1);
+  }
   // Final drain: everyone leaves, and the budget must be pristine again
   // — the conservation property this whole subsystem exists to keep.
   while (!residents.empty()) {

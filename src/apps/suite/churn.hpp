@@ -84,14 +84,26 @@ struct ChurnOptions {
   /// Probability an event is a departure when residents exist
   /// (arrivals otherwise).
   double departChance = 0.45;
+  /// Probability an event fails a random healthy tile (the controller
+  /// evacuates and re-admits the stranded residents). 0 disables fault
+  /// churn entirely — no extra RNG draws, so legacy seeded traces stay
+  /// bit-identical.
+  double faultChance = 0.0;
+  /// Probability an event repairs a random outstanding tile failure
+  /// (when one exists). Every failure still outstanding after the last
+  /// event is repaired before the final drain, so the conservation
+  /// verdict (drain == pristine) is unchanged by fault churn.
+  double repairChance = 0.0;
 };
 
 /// One event of a churn trace.
 struct ChurnEvent {
   /// What happened.
   enum class Kind {
-    Arrival,   ///< an application asked to be admitted
-    Departure  ///< a resident left (including the final drain)
+    Arrival,    ///< an application asked to be admitted
+    Departure,  ///< a resident left (including the final drain)
+    Fault,      ///< a tile failed; stranded residents were evacuated
+    Repair      ///< a failed tile was repaired (including the final sweep)
   };
   /// What happened.
   Kind kind = Kind::Arrival;
@@ -99,14 +111,23 @@ struct ChurnEvent {
   /// only).
   std::size_t appIndex = 0;
   /// The client: the admitted id for successful arrivals, the departing
-  /// id for departures; unset for rejected arrivals.
+  /// id for departures; unset for rejected arrivals and fault/repair
+  /// events.
   std::optional<mapping::ClientId> client;
   /// Was the arrival admitted? (false for departures)
   bool admitted = false;
   /// Was the decision replayed from the plan cache? (arrivals only)
   bool planCacheHit = false;
-  /// Decision latency in seconds (arrivals only).
+  /// Decision latency (arrivals) or recovery latency (faults), seconds.
   double seconds = 0.0;
+  /// The failed/repaired tile (Fault/Repair events only).
+  platform::TileId tile = 0;
+  /// Residents stranded by this fault (Fault events only).
+  std::size_t strandedCount = 0;
+  /// Stranded residents re-admitted under their old id (Fault only).
+  std::size_t recoveredCount = 0;
+  /// Stranded residents lost to the fault (Fault events only).
+  std::size_t degradedCount = 0;
 };
 
 /// Outcome of one churn trace.

@@ -21,7 +21,8 @@ AdmissionController::AdmissionController(const platform::Architecture& arch,
 }
 
 std::string AdmissionController::decisionKey(const AppAnalysisCache& app,
-                                             const MappingOptions& options) const {
+                                             const MappingOptions& options,
+                                             bool enforceHeadroom) const {
   // Everything the mapping step (mapOntoBudget) reads must be covered:
   // the application (the cache is a pure function of the model), the
   // mapping knobs, and — from the live budget — per-tile slot occupancy
@@ -33,7 +34,17 @@ std::string AdmissionController::decisionKey(const AppAnalysisCache& app,
   // a marker: binding skips them before reading any of their values,
   // and FSL link *indices* are re-allocated on replay, so neither
   // affects the decision.
-  std::string key = strprintf("app=%p|o=%a,%a,%a,%a,%d,%u,%u,%u,%d,%u,%u|",
+  //
+  // The fault epoch leads the key: it is bumped on every injectFault
+  // AND repair, so within this controller an epoch uniquely identifies
+  // one platform fault state — a plan recorded on a healthy platform
+  // can never replay onto a failed one (or vice versa), even when the
+  // reservation signature matches. The headroom flag separates the two
+  // decision families (normal admissions vs recovery re-admissions,
+  // which bypass the headroom) when a RecoveryPolicy is active.
+  std::string key = strprintf("e%llu|h%d|app=%p|o=%a,%a,%a,%a,%d,%u,%u,%u,%d,%u,%u|",
+                              static_cast<unsigned long long>(faultEpoch_),
+                              enforceHeadroom ? 1 : 0,
                               static_cast<const void*>(app.app), options.weights.processing,
                               options.weights.memory, options.weights.communication,
                               options.weights.latency, static_cast<int>(options.serialization),
@@ -44,7 +55,7 @@ std::string AdmissionController::decisionKey(const AppAnalysisCache& app,
   for (TileId t = 0; t < arch_->tileCount(); ++t) {
     const TileBudget& tile = budget_.tiles()[t];
     if (budget_.freeTileSlots(t) == 0) {
-      key += "X;";  // wheel fully reserved: unavailable to a fresh client
+      key += "X;";  // wheel fully reserved (or tile failed): unavailable
     } else {
       key += strprintf("%llu,%u,%u,s%u;", static_cast<unsigned long long>(tile.loadCycles),
                        tile.instrBytes, tile.dataBytes, tile.slotsUsed());
@@ -62,8 +73,67 @@ std::string AdmissionController::decisionKey(const AppAnalysisCache& app,
   return key;
 }
 
+void AdmissionController::touchCacheEntry(CachedDecision& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lruPosition);
+}
+
+void AdmissionController::storeCacheEntry(std::string key, CachedDecision memo) {
+  const auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    // Re-memoization after a failed replay: keep the LRU node, refresh
+    // the decision.
+    memo.lruPosition = it->second.lruPosition;
+    it->second = std::move(memo);
+    touchCacheEntry(it->second);
+    return;
+  }
+  lru_.push_front(key);
+  memo.lruPosition = lru_.begin();
+  plans_.emplace(std::move(key), std::move(memo));
+  if (options_.planCacheCapacity > 0 && plans_.size() > options_.planCacheCapacity) {
+    plans_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.planCacheEvictions;
+  }
+}
+
+bool AdmissionController::violatesHeadroom(const ResourceBudget& work) const {
+  const RecoveryPolicy& policy = options_.recovery;
+  if (policy.spareTiles > 0) {
+    std::uint32_t freeTiles = 0;
+    for (TileId t = 0; t < arch_->tileCount(); ++t) {
+      if (!work.tileFailed(t) && work.tiles()[t].slotOwners.empty()) {
+        ++freeTiles;
+      }
+    }
+    if (freeTiles < policy.spareTiles) {
+      return true;
+    }
+  }
+  if (policy.spareWires > 0) {
+    std::uint64_t spare = 0;
+    if (arch_->interconnect() == platform::InterconnectKind::NocMesh) {
+      const std::uint32_t capacity = arch_->noc().wiresPerLink;
+      const std::size_t links = work.nocTopology().linkCount();
+      for (platform::LinkId link = 0; link < links; ++link) {
+        if (work.faults().nocLinkFailed(link)) {
+          continue;  // a failed link's capacity is not spare
+        }
+        spare += capacity - work.usedWires(link);
+      }
+    } else {
+      spare = work.fslLinksAvailable();
+    }
+    if (spare < policy.spareWires) {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool AdmissionController::replayAdmission(const CachedDecision& cached,
-                                          const AppAnalysisCache& app, ClientId client,
+                                          const AppAnalysisCache& app,
+                                          const MappingOptions& options, ClientId client,
                                           AdmissionDecision& out) {
   const sdf::Graph& g = app.app->graph();
   MappingResult result = cached.plan;
@@ -113,21 +183,21 @@ bool AdmissionController::replayAdmission(const CachedDecision& cached,
   budget_ = std::move(work);
   out.client = client;
   out.result = std::move(result);
-  residents_.emplace(client, *out.result);
+  residents_.emplace(client, Resident{*out.result, &app, options});
   return true;
 }
 
-AdmissionDecision AdmissionController::admit(const AppAnalysisCache& app,
-                                             const MappingOptions& options) {
+AdmissionDecision AdmissionController::decide(const AppAnalysisCache& app,
+                                              const MappingOptions& options, ClientId client,
+                                              bool enforceHeadroom) {
   const auto start = std::chrono::steady_clock::now();
   AdmissionDecision decision;
-  ++stats_.arrivals;
-  const ClientId client = nextClient_++;
+  const bool headroom = enforceHeadroom && options_.recovery.active();
 
   std::string key;
-  const CachedDecision* cached = nullptr;
+  CachedDecision* cached = nullptr;
   if (options_.planCache) {
-    key = decisionKey(app, options);
+    key = decisionKey(app, options, headroom);
     const auto it = plans_.find(key);
     if (it != plans_.end()) {
       cached = &it->second;
@@ -140,26 +210,34 @@ AdmissionDecision AdmissionController::admit(const AppAnalysisCache& app,
       decision.reason = cached->reason;
       decided = true;
     } else {
-      decided = replayAdmission(*cached, app, client, decision);
+      decided = replayAdmission(*cached, app, options, client, decision);
+    }
+    if (decided) {
+      touchCacheEntry(*cached);
     }
     decision.planCacheHit = decided;
   }
 
   if (!decided) {
+    if (options_.planCache) {
+      ++stats_.planCacheMisses;
+    }
     // Cold path: the complete mapping step, trialled on a copy of the
-    // live budget so a rejection (infeasible OR constraint-missing)
-    // commits nothing.
+    // live budget so a rejection (infeasible OR constraint-missing OR
+    // headroom-violating) commits nothing.
     ResourceBudget work = budget_;
     auto result = mapOntoBudget(app, *arch_, options, work, client);
     if (!result.has_value()) {
       decision.reason = "no feasible mapping on the residual platform";
     } else if (options_.requireConstraint && !result->meetsConstraint) {
       decision.reason = "throughput guarantee does not compose with the residents";
+    } else if (headroom && violatesHeadroom(work)) {
+      decision.reason = "admission would cut into the recovery headroom";
     } else {
       budget_ = std::move(work);
       decision.client = client;
       decision.result = std::move(result);
-      residents_.emplace(client, *decision.result);
+      residents_.emplace(client, Resident{*decision.result, &app, options});
     }
     if (options_.planCache) {
       CachedDecision memo;
@@ -169,20 +247,28 @@ AdmissionDecision AdmissionController::admit(const AppAnalysisCache& app,
       } else {
         memo.reason = decision.reason;
       }
-      plans_.emplace(std::move(key), std::move(memo));
+      storeCacheEntry(std::move(key), std::move(memo));
     }
   }
 
-  if (decision.admitted()) {
-    ++stats_.admitted;
-  } else {
-    ++stats_.rejected;
-  }
   if (decision.planCacheHit) {
     ++stats_.planCacheHits;
   }
   decision.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return decision;
+}
+
+AdmissionDecision AdmissionController::admit(const AppAnalysisCache& app,
+                                             const MappingOptions& options) {
+  ++stats_.arrivals;
+  const ClientId client = nextClient_++;
+  AdmissionDecision decision = decide(app, options, client, /*enforceHeadroom=*/true);
+  if (decision.admitted()) {
+    ++stats_.admitted;
+  } else {
+    ++stats_.rejected;
+  }
   return decision;
 }
 
@@ -197,10 +283,93 @@ void AdmissionController::depart(ClientId client) {
   ++stats_.departures;
 }
 
+RecoveryReport AdmissionController::injectFault(const FaultEvent& fault) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::uint32_t> stranded;
+  switch (fault.kind) {
+    case FaultEvent::Kind::TileFail:
+      stranded = budget_.failTile(fault.tile);
+      break;
+    case FaultEvent::Kind::NocLinkFail:
+      stranded = budget_.failNocLink(fault.link);
+      break;
+    case FaultEvent::Kind::FslLinkFail:
+      stranded = budget_.failFslLink(fault.fslIndex);
+      break;
+    case FaultEvent::Kind::TdmDegrade:
+      stranded = budget_.degradeTileWheel(fault.tile, fault.wheel);
+      break;
+  }
+  ++faultEpoch_;  // no plan recorded before this fault may replay now
+  ++stats_.faultsInjected;
+  stats_.evacuated += stranded.size();
+
+  RecoveryReport report;
+  for (const auto& [client, res] : residents_) {
+    report.verdicts[client] = RecoveryOutcome::Untouched;
+  }
+
+  // Evacuate every stranded client before re-admitting any: teardown
+  // first frees the maximum healthy capacity for recovery to work with.
+  std::vector<std::pair<ClientId, Resident>> evacuees;
+  evacuees.reserve(stranded.size());
+  for (const std::uint32_t client : stranded) {
+    const auto it = residents_.find(client);
+    if (it == residents_.end()) {
+      throw Error("AdmissionController::injectFault: stranded client " +
+                  std::to_string(client) + " is not resident");
+    }
+    report.stranded.push_back(client);
+    evacuees.emplace_back(client, std::move(it->second));
+    residents_.erase(it);
+    budget_.release(client);
+  }
+
+  // Re-admit in admission (oldest-first) order under the SAME client
+  // id, bypassing the recovery headroom — using the reserve is its
+  // purpose. Each attempt is the full trial-on-copy decision, so a
+  // failed recovery commits nothing.
+  for (const auto& [client, res] : evacuees) {
+    const AdmissionDecision decision = decide(*res.app, res.options, client,
+                                              /*enforceHeadroom=*/false);
+    if (decision.admitted()) {
+      report.verdicts[client] = RecoveryOutcome::Recovered;
+      report.recovered.push_back(client);
+      ++stats_.recovered;
+    } else {
+      report.verdicts[client] = RecoveryOutcome::Degraded;
+      report.degraded.push_back(client);
+      ++stats_.degradedClients;
+    }
+  }
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return report;
+}
+
+void AdmissionController::repair(const FaultEvent& fault) {
+  switch (fault.kind) {
+    case FaultEvent::Kind::TileFail:
+      budget_.repairTile(fault.tile);
+      break;
+    case FaultEvent::Kind::NocLinkFail:
+      budget_.repairNocLink(fault.link);
+      break;
+    case FaultEvent::Kind::FslLinkFail:
+      budget_.repairFslLink(fault.fslIndex);
+      break;
+    case FaultEvent::Kind::TdmDegrade:
+      budget_.repairTileWheel(fault.tile);
+      break;
+  }
+  ++faultEpoch_;  // plans recorded under the fault may not replay now
+  ++stats_.repairs;
+}
+
 std::vector<ClientId> AdmissionController::residentIds() const {
   std::vector<ClientId> ids;
   ids.reserve(residents_.size());
-  for (const auto& [client, result] : residents_) {
+  for (const auto& [client, res] : residents_) {
     ids.push_back(client);
   }
   return ids;
@@ -212,7 +381,7 @@ const MappingResult& AdmissionController::resident(ClientId client) const {
     throw Error("AdmissionController::resident: client " + std::to_string(client) +
                 " is not resident");
   }
-  return it->second;
+  return it->second.result;
 }
 
 }  // namespace mamps::mapping

@@ -99,6 +99,9 @@ std::optional<BindingResult> bindActors(const ApplicationModel& app, const Mappi
     const sdf::ActorImplementation* bestImpl = nullptr;
 
     for (TileId t = 0; t < arch.tileCount(); ++t) {
+      if (budget.tileFailed(t)) {
+        continue;  // never place work on a failed tile
+      }
       const platform::Tile& tile = arch.tile(t);
       const bool holdsSlots = budget.tileSlots(t, client) > 0;
       if (!holdsSlots && budget.freeTileSlots(t) < desiredSlots(budget, t, options)) {

@@ -36,8 +36,8 @@ bool routeChannels(const sdf::Graph& g, const platform::Architecture& arch,
       continue;
     }
     if (arch.interconnect() == platform::InterconnectKind::Fsl) {
-      if (trial.fslLinksUsed() >= trial.fslLinkCapacity()) {
-        return false;  // the platform's FSL port budget is exhausted
+      if (trial.fslLinksAvailable() == 0) {
+        return false;  // the FSL port budget (minus failed links) is exhausted
       }
       route.fslIndex = trial.allocateFslLink(client);
       continue;
@@ -207,7 +207,9 @@ std::optional<MappingResult> mapOntoBudget(const AppAnalysisCache& cache,
     const std::uint32_t held = work.tileSlots(t, client);
     const std::uint32_t wheel = work.tileSlotCapacity(t);
     if (held != 0 && held < wheel) {
-      wcet[a] = (wcet[a] * wheel + held - 1) / held + arch.tile(t).tdm.wheelOverheadCycles;
+      // The effective wheel (degraded when the tile is) sets both the
+      // share and the switch overhead.
+      wcet[a] = (wcet[a] * wheel + held - 1) / held + work.tileWheelOverheadCycles(t);
     }
   }
 

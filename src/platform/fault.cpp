@@ -1,0 +1,67 @@
+#include "platform/fault.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace mamps::platform {
+
+std::uint32_t fslLinkCapacityOf(const Architecture& arch) {
+  const std::uint32_t configured = arch.fsl().maxLinks;
+  if (configured != 0) {
+    return configured;
+  }
+  return FslConfig::kFslPortsPerTile * static_cast<std::uint32_t>(arch.tileCount());
+}
+
+void FaultState::validate(const Architecture& arch) const {
+  for (const TileId tile : failedTiles) {
+    if (tile >= arch.tileCount()) {
+      throw ModelError("FaultState: failed tile " + std::to_string(tile) +
+                       " is out of range (platform has " + std::to_string(arch.tileCount()) +
+                       " tiles)");
+    }
+  }
+  if (!failedNocLinks.empty()) {
+    if (arch.interconnect() != InterconnectKind::NocMesh) {
+      throw ModelError("FaultState: failed NoC links on a platform without a NoC");
+    }
+    const NocTopology topology(arch.noc());
+    for (const LinkId link : failedNocLinks) {
+      if (link >= topology.linkCount()) {
+        throw ModelError("FaultState: failed NoC link " + std::to_string(link) +
+                         " is out of range (mesh has " + std::to_string(topology.linkCount()) +
+                         " links)");
+      }
+    }
+  }
+  if (!failedFslLinks.empty()) {
+    if (arch.interconnect() != InterconnectKind::Fsl) {
+      throw ModelError("FaultState: failed FSL links on a platform without FSL interconnect");
+    }
+    for (const std::uint32_t index : failedFslLinks) {
+      if (index >= fslLinkCapacityOf(arch)) {
+        throw ModelError("FaultState: failed FSL link " + std::to_string(index) +
+                         " is out of range (capacity " +
+                         std::to_string(fslLinkCapacityOf(arch)) + ")");
+      }
+    }
+  }
+  for (const auto& [tile, wheel] : degradedTdm) {
+    if (tile >= arch.tileCount()) {
+      throw ModelError("FaultState: degraded wheel on out-of-range tile " +
+                       std::to_string(tile));
+    }
+    if (wheel.slotsPerWheel == 0) {
+      throw ModelError("FaultState: degraded wheel on tile " + arch.tile(tile).name +
+                       " has zero slots");
+    }
+    const std::uint32_t built = std::max<std::uint32_t>(1, arch.tile(tile).tdm.slotsPerWheel);
+    if (wheel.slotsPerWheel > built) {
+      throw ModelError("FaultState: degraded wheel on tile " + arch.tile(tile).name + " has " +
+                       std::to_string(wheel.slotsPerWheel) + " slots, more than the " +
+                       std::to_string(built) + " it was built with");
+    }
+  }
+}
+
+}  // namespace mamps::platform

@@ -1,0 +1,105 @@
+// The platform failure model: which resources of a generated MPSoC are
+// currently broken.
+//
+// The paper's flow assumes the platform stays exactly as generated; a
+// long-running serving deployment does not get that luxury — processor
+// tiles lock up, NoC links drop, FSL FIFOs fail, and a degraded tile
+// may come back with fewer usable TDM slots than its wheel was built
+// with. FaultState is the value type that names those conditions: a set
+// of failed tiles, failed NoC links, failed FSL link indices, and
+// optional per-tile degraded TDM wheels. It deliberately carries no
+// budget or client state — platform::ResourceBudget owns the live
+// accounting and consumes FaultState transitions through its
+// failTile/failNocLink/failFslLink/degradeTileWheel/repair* calls, and
+// mapping::AdmissionController turns them into evacuation and
+// re-admission (see mapping/admission.hpp).
+//
+// FaultState round-trips through the architecture XML as *annotations*
+// (platform/io.hpp): failed tiles carry failed="true", degraded wheels
+// carry degradedTdmSlots/degradedTdmOverhead, and the interconnect
+// element lists failed link indices. A fault-free state writes no
+// annotations at all, so legacy architecture files stay byte-stable on
+// rewrite.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "platform/architecture.hpp"
+#include "platform/noc_topology.hpp"
+
+namespace mamps::platform {
+
+/// The set of currently failed (or degraded) platform resources. A
+/// default-constructed FaultState means a healthy platform. Ordered
+/// containers keep iteration — and thus serialization, application
+/// order, and equality — deterministic.
+struct FaultState {
+  /// Failed tiles (processor or hardware IP): no work may be placed on
+  /// them and their capacity counts as zero until repaired.
+  std::set<TileId> failedTiles;
+  /// Failed directed NoC mesh links: no SDM wires may be reserved on
+  /// routes crossing them until repaired.
+  std::set<LinkId> failedNocLinks;
+  /// Failed FSL link indices: the point-to-point link hardware at these
+  /// indices is broken and must not be (re)allocated until repaired.
+  std::set<std::uint32_t> failedFslLinks;
+  /// Tiles running on a degraded TDM wheel (e.g. after a partial
+  /// repair): the effective wheel replaces the architecture's wheel for
+  /// capacity and WCET-inflation purposes. A degraded wheel never has
+  /// more slots than the tile was built with.
+  std::map<TileId, TdmConfig> degradedTdm;
+
+  /// Is the platform healthy (nothing failed, nothing degraded)?
+  /// @return true when every set and map is empty
+  [[nodiscard]] bool empty() const {
+    return failedTiles.empty() && failedNocLinks.empty() && failedFslLinks.empty() &&
+           degradedTdm.empty();
+  }
+
+  /// Is a tile failed?
+  /// @param tile the tile to query
+  /// @return true when `tile` is in failedTiles
+  [[nodiscard]] bool tileFailed(TileId tile) const { return failedTiles.count(tile) != 0; }
+
+  /// Is a NoC link failed?
+  /// @param link the link to query
+  /// @return true when `link` is in failedNocLinks
+  [[nodiscard]] bool nocLinkFailed(LinkId link) const {
+    return failedNocLinks.count(link) != 0;
+  }
+
+  /// Is an FSL link index failed?
+  /// @param index the FSL link index to query
+  /// @return true when `index` is in failedFslLinks
+  [[nodiscard]] bool fslLinkFailed(std::uint32_t index) const {
+    return failedFslLinks.count(index) != 0;
+  }
+
+  /// Structural checks against the architecture the faults describe:
+  /// tile ids in range, NoC link ids within the mesh (NoC platforms
+  /// only), FSL indices within the platform's link capacity (FSL
+  /// platforms only), and degraded wheels with at least one slot and no
+  /// more slots than the tile was built with.
+  /// @param arch the architecture these faults annotate
+  /// @throws ModelError when any fault references a resource the
+  ///   architecture does not have, or a degraded wheel is invalid
+  void validate(const Architecture& arch) const;
+
+  /// Field-for-field equality (XML round-trip and pristine checks).
+  /// @param other the fault state to compare against
+  /// @return true when every member matches
+  [[nodiscard]] bool operator==(const FaultState& other) const = default;
+};
+
+/// The platform's FSL link capacity as enforced by the resource budget:
+/// FslConfig::maxLinks, or — when that is 0 — kFslPortsPerTile
+/// point-to-point links per tile. Shared by
+/// platform::ResourceBudget::fslLinkCapacity and FaultState::validate
+/// so the two can never drift apart.
+/// @param arch the architecture to derive the capacity for
+/// @return the maximum number of simultaneously live FSL links
+[[nodiscard]] std::uint32_t fslLinkCapacityOf(const Architecture& arch);
+
+}  // namespace mamps::platform

@@ -1,16 +1,39 @@
 // XML (de)serialization of architecture models.
+//
+// FaultState (platform/fault.hpp) rides along as *annotations* on the
+// same document: failed tiles carry failed="true" (and degraded wheels
+// degradedTdmSlots / degradedTdmOverhead), and the interconnect element
+// lists failed link indices in failedLinks="i,j,k". A healthy fault
+// state writes no annotations at all, so legacy architecture files
+// (and the fault-free overloads below) stay byte-stable on rewrite.
 #pragma once
 
 #include <string>
 
 #include "platform/architecture.hpp"
+#include "platform/fault.hpp"
 
 namespace mamps::platform {
 
 /// Serialize an architecture as an <architecture> document.
 [[nodiscard]] std::string architectureToXml(const Architecture& arch);
 
-/// Parse an architecture from a document string.
+/// Serialize an architecture with its current fault annotations.
+[[nodiscard]] std::string architectureToXml(const Architecture& arch, const FaultState& faults);
+
+/// Parse an architecture from a document string (fault annotations, if
+/// present, are ignored — use architectureWithFaultsFromString to keep
+/// them).
 [[nodiscard]] Architecture architectureFromString(const std::string& text);
+
+/// An architecture together with its parsed fault annotations.
+struct ArchitectureWithFaults {
+  Architecture arch;      ///< the platform
+  FaultState faults;      ///< its failed/degraded resources (empty = healthy)
+};
+
+/// Parse an architecture and its fault annotations from a document
+/// string; the faults are validated against the parsed architecture.
+[[nodiscard]] ArchitectureWithFaults architectureWithFaultsFromString(const std::string& text);
 
 }  // namespace mamps::platform

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "platform/architecture.hpp"
+#include "platform/fault.hpp"
 #include "platform/noc_topology.hpp"
 
 namespace mamps::platform {
@@ -130,18 +131,20 @@ class ResourceBudget {
   /// May `client` place work on the tile?
   /// @param tile the tile to query
   /// @param client the asking client id
-  /// @return true when `client` already holds slots on the tile's TDM
-  ///   wheel, or free slots remain for it to reserve
+  /// @return false for failed tiles; otherwise true when `client`
+  ///   already holds slots on the tile's TDM wheel, or free slots
+  ///   remain for it to reserve
   [[nodiscard]] bool tileAvailable(TileId tile, std::uint32_t client) const;
 
-  /// The tile's TDM wheel size (TdmConfig::slotsPerWheel, >= 1).
+  /// The tile's effective TDM wheel size (>= 1): the degraded wheel's
+  /// when the tile is degraded, TdmConfig::slotsPerWheel otherwise.
   /// @param tile the tile to query
-  /// @return the number of slots on the wheel
+  /// @return the number of slots on the effective wheel
   [[nodiscard]] std::uint32_t tileSlotCapacity(TileId tile) const;
 
-  /// Unreserved slots on the tile's TDM wheel.
+  /// Unreserved slots on the tile's TDM wheel; 0 for failed tiles.
   /// @param tile the tile to query
-  /// @return wheel capacity minus every client's held slots
+  /// @return effective wheel capacity minus every client's held slots
   [[nodiscard]] std::uint32_t freeTileSlots(TileId tile) const;
 
   /// Slots `client` holds on the tile's TDM wheel.
@@ -157,15 +160,16 @@ class ResourceBudget {
   /// @param tile the tile to reserve on
   /// @param client the reserving client id (not kNoClient)
   /// @param slots slots to add (> 0)
-  /// @throws Error on a zero-slot request, an invalid client, or when
-  ///   fewer than `slots` slots are free (nothing committed)
+  /// @throws Error on a zero-slot request, an invalid client, a failed
+  ///   tile, or when fewer than `slots` slots are free (nothing
+  ///   committed)
   void reserveTileSlots(TileId tile, std::uint32_t client, std::uint32_t slots);
 
-  /// Residual instruction memory of a tile.
+  /// Residual instruction memory of a tile; 0 for failed tiles.
   /// @param tile the tile to query
   /// @return capacity minus committed instruction bytes (0 when full)
   [[nodiscard]] std::uint32_t freeInstrBytes(TileId tile) const;
-  /// Residual data memory of a tile.
+  /// Residual data memory of a tile; 0 for failed tiles.
   /// @param tile the tile to query
   /// @return capacity minus committed data bytes (0 when full)
   [[nodiscard]] std::uint32_t freeDataBytes(TileId tile) const;
@@ -180,9 +184,9 @@ class ResourceBudget {
   /// @param loadCycles processor cycles per iteration to add
   /// @param instrBytes instruction memory to add
   /// @param dataBytes data memory to add
-  /// @throws Error when `client` holds no slots and the wheel is
-  ///   partially reserved by others, or the reservation exceeds the
-  ///   residual memory
+  /// @throws Error when the tile is failed, `client` holds no slots and
+  ///   the wheel is partially reserved by others, or the reservation
+  ///   exceeds the residual memory
   void commitTile(TileId tile, std::uint32_t client, std::uint64_t loadCycles,
                   std::uint32_t instrBytes, std::uint32_t dataBytes);
 
@@ -202,7 +206,7 @@ class ResourceBudget {
   /// @param wires wires to claim on each link
   /// @param client the reserving client id (not kNoClient)
   /// @return true on success; false (and nothing committed) when any
-  ///   link lacks capacity
+  ///   link lacks capacity or is failed
   [[nodiscard]] bool reserveNocWires(const std::vector<LinkId>& route, std::uint32_t wires,
                                      std::uint32_t client);
 
@@ -214,11 +218,13 @@ class ResourceBudget {
   /// Claim a dedicated FSL link for `client`. Links come from a capped
   /// free-list: released indices are reused (lowest first) before new
   /// ones are minted, so indices stay dense under admit/release churn
-  /// and match the generated point-to-point hardware.
+  /// and match the generated point-to-point hardware. Failed indices
+  /// are never handed out; while failed-and-free they reduce the
+  /// effective capacity.
   /// @param client the claiming client id (not kNoClient)
   /// @return the claimed link index
-  /// @throws Error when the architecture's FSL link capacity
-  ///   (fslLinkCapacity()) is exhausted
+  /// @throws Error when no healthy link below the architecture's FSL
+  ///   link capacity (fslLinkCapacity()) remains
   [[nodiscard]] std::uint32_t allocateFslLink(std::uint32_t client);
 
   /// FSL links currently held by clients (live links, not the
@@ -233,6 +239,110 @@ class ResourceBudget {
   /// (the MicroBlaze FSL port limit).
   /// @return the maximum number of simultaneously live FSL links
   [[nodiscard]] std::uint32_t fslLinkCapacity() const;
+
+  /// FSL links allocateFslLink could still hand out: the capacity minus
+  /// live links minus failed-and-free indices (dead capacity until
+  /// repaired).
+  /// @return the number of remaining allocatable links
+  [[nodiscard]] std::uint32_t fslLinksAvailable() const;
+
+  // ------------------------------------------------------------ faults
+
+  /// The budget's current failure state. Failing a resource never
+  /// touches reservations or ledgers — it only marks the resource, so
+  /// a stranded client's provenance survives for evacuation and repair
+  /// restores capacity bit-identically (fail -> repair is a no-op on
+  /// every accounting field).
+  /// @return the fault state (empty = healthy)
+  [[nodiscard]] const FaultState& faults() const { return faults_; }
+
+  /// Is a tile failed? Failed tiles report zero free slots and memory,
+  /// and commitTile / reserveTileSlots reject them outright.
+  /// @param tile the tile to query
+  /// @return true when the tile is currently failed
+  [[nodiscard]] bool tileFailed(TileId tile) const { return faults_.tileFailed(tile); }
+
+  /// Fail a tile: its capacity drops to zero for new work (existing
+  /// reservations stay in the ledgers — callers evacuate stranded
+  /// clients via release()).
+  /// @param tile the tile to fail
+  /// @return the clients currently holding reservations on the tile
+  ///   (ascending id order) — exactly who is stranded by this failure
+  /// @throws Error when the tile is already failed
+  std::vector<std::uint32_t> failTile(TileId tile);
+
+  /// Repair a failed tile: capacity returns bit-identically (the fault
+  /// mark is the only state failTile touched).
+  /// @param tile the tile to repair
+  /// @throws Error when the tile is not failed
+  void repairTile(TileId tile);
+
+  /// Fail a directed NoC mesh link: reserveNocWires rejects any route
+  /// crossing it until repaired (existing wire reservations stay).
+  /// @param link the link to fail
+  /// @return the clients currently holding SDM wires on the link
+  ///   (ascending id order)
+  /// @throws Error when the platform has no NoC or the link is already
+  ///   failed
+  std::vector<std::uint32_t> failNocLink(LinkId link);
+
+  /// Repair a failed NoC link.
+  /// @param link the link to repair
+  /// @throws Error when the link is not failed
+  void repairNocLink(LinkId link);
+
+  /// Fail an FSL link index: allocateFslLink never hands it out until
+  /// repaired, and the effective link capacity shrinks by one while the
+  /// index is failed-and-free.
+  /// @param index the FSL link index to fail
+  /// @return the client currently holding the link, if any (at most one
+  ///   — FSL links are point-to-point)
+  /// @throws Error when the platform has no FSL interconnect, the index
+  ///   is out of range, or it is already failed
+  std::vector<std::uint32_t> failFslLink(std::uint32_t index);
+
+  /// Repair a failed FSL link index.
+  /// @param index the index to repair
+  /// @throws Error when the index is not failed
+  void repairFslLink(std::uint32_t index);
+
+  /// Degrade a tile's TDM wheel to `wheel` (fewer slots and/or a
+  /// different switch overhead than the tile was built with). Capacity
+  /// and WCET-inflation queries (tileSlotCapacity,
+  /// tileWheelOverheadCycles) read the degraded wheel until
+  /// repairTileWheel. Guarantees analyzed on the BUILT wheel stay valid
+  /// on a smaller one (holding k of S' < S slots is a larger processor
+  /// share), but reservations may no longer fit: when the committed
+  /// slots exceed the degraded capacity, every slot-holding client of
+  /// the tile is stranded.
+  /// @param tile the tile to degrade
+  /// @param wheel the effective wheel (validated against the built one)
+  /// @return the stranded clients (ascending id order; empty when every
+  ///   reservation still fits the degraded wheel)
+  /// @throws ModelError when the degraded wheel is invalid
+  /// @throws Error when the tile is already degraded
+  std::vector<std::uint32_t> degradeTileWheel(TileId tile, const TdmConfig& wheel);
+
+  /// Restore a degraded tile's built TDM wheel.
+  /// @param tile the tile to restore
+  /// @throws Error when the tile is not degraded
+  void repairTileWheel(TileId tile);
+
+  /// The effective per-firing wheel-switch overhead of a tile: the
+  /// degraded wheel's when degraded, the built wheel's otherwise.
+  /// @param tile the tile to query
+  /// @return TdmConfig::wheelOverheadCycles of the effective wheel
+  [[nodiscard]] std::uint32_t tileWheelOverheadCycles(TileId tile) const;
+
+  /// Every client holding a reservation on any currently failed or
+  /// over-committed degraded resource — exactly the set an admission
+  /// controller must evacuate.
+  /// @return stranded client ids, ascending, each listed once
+  [[nodiscard]] std::vector<std::uint32_t> strandedClients() const;
+
+  /// FSL link indices currently held by clients, ascending.
+  /// @return every live index across all ledgers
+  [[nodiscard]] std::vector<std::uint32_t> liveFslLinks() const;
 
   // ------------------------------------------------- release / equality
 
@@ -255,8 +365,10 @@ class ResourceBudget {
 
   /// Field-for-field equality: same architecture, same per-tile
   /// reservations and ownership, same per-link wires, same FSL
-  /// free-list state, same client ledgers. This is the
-  /// pristine-restoration check of the admission controller.
+  /// free-list state, same client ledgers, same fault state. This is
+  /// the pristine-restoration check of the admission controller (a
+  /// budget with an outstanding failure is NOT pristine until
+  /// repaired).
   /// @param other the budget to compare against
   /// @return true when every field matches
   [[nodiscard]] bool operator==(const ResourceBudget& other) const;
@@ -275,6 +387,10 @@ class ResourceBudget {
   std::vector<std::uint32_t> freeFslLinks_;
   /// Per-client provenance; empty once every client released.
   std::map<std::uint32_t, ClientLedger> ledgers_;
+  /// Currently failed/degraded resources; empty on a healthy platform.
+  /// Fail/repair touch ONLY this member, which is what makes
+  /// fail -> repair -> drain bit-identical to pristine.
+  FaultState faults_;
 };
 
 }  // namespace mamps::platform
