@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# clang-format gate, scoped to avoid a mass reformat of historical
+# code: it checks (1) every C++ file under tools/ and scripts/, and
+# (2) the C++ files changed relative to a base ref (default: the merge
+# base with origin/main, overridable with --base <ref>; --all widens to
+# the whole tree). Exits nonzero with a diff summary when any checked
+# file deviates from .clang-format.
+#
+# clang-format is an optional dependency: when the binary is missing
+# (local dev containers ship only gcc) the gate reports SKIP and exits
+# 0 — the CI lint job installs it, so the check cannot silently vanish
+# from CI.
+#
+# Usage: scripts/check_format.sh [--base <ref>] [--all] [--fix]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+base=""
+mode="scoped"
+fix=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --base) base="$2"; shift 2 ;;
+    --all) mode="all"; shift ;;
+    --fix) fix=1; shift ;;
+    *) echo "usage: $0 [--base <ref>] [--all] [--fix]" >&2; exit 2 ;;
+  esac
+done
+
+clang_format="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$clang_format" >/dev/null 2>&1; then
+  echo "SKIP: $clang_format not found (install clang-format or set CLANG_FORMAT)"
+  exit 0
+fi
+
+declare -a files=()
+collect() {
+  while IFS= read -r f; do
+    [[ -f "$f" ]] || continue
+    case "$f" in
+      *.cpp|*.hpp|*.cc|*.h) files+=("$f") ;;
+    esac
+  done
+}
+
+if [[ "$mode" == "all" ]]; then
+  collect < <(git ls-files 'src/**' 'tests/**' 'bench/**' 'examples/**' 'tools/**' 'scripts/**')
+else
+  # Always: the tooling trees (small, owned by this gate).
+  collect < <(git ls-files 'tools/**' 'scripts/**')
+  # Plus the files changed relative to the base ref, when resolvable.
+  if [[ -z "$base" ]]; then
+    base="$(git merge-base HEAD origin/main 2>/dev/null || true)"
+  fi
+  if [[ -n "$base" ]]; then
+    collect < <(git diff --name-only --diff-filter=ACMR "$base" HEAD)
+    collect < <(git diff --name-only --diff-filter=ACMR HEAD)
+  fi
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "ok: no C++ files in scope"
+  exit 0
+fi
+
+# Dedupe (a changed tools/ file appears twice).
+mapfile -t files < <(printf '%s\n' "${files[@]}" | sort -u)
+
+if [[ "$fix" -eq 1 ]]; then
+  "$clang_format" -i --style=file "${files[@]}"
+  echo "ok: formatted ${#files[@]} file(s) in place"
+  exit 0
+fi
+
+status=0
+bad=0
+for f in "${files[@]}"; do
+  if ! "$clang_format" --style=file --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "FAIL: $f deviates from .clang-format (run: scripts/check_format.sh --fix)"
+    status=1
+    bad=$((bad + 1))
+  fi
+done
+if [[ "$status" -eq 0 ]]; then
+  echo "ok: ${#files[@]} file(s) match .clang-format"
+else
+  echo "FAIL: $bad of ${#files[@]} checked file(s) need formatting" >&2
+fi
+exit $status

@@ -16,9 +16,13 @@ if [[ ! -f "$build_dir/CTestTestfile.cmake" ]]; then
   exit 2
 fi
 
-# Every label mentioned in a mamps_add_test(<name> <source> "<l1>;<l2>") call.
-labels=$(sed -n 's/^[[:space:]]*mamps_add_test([^ ]* [^ ]* "\{0,1\}\([^")]*\)"\{0,1\})/\1/p' \
-             "$repo_root/CMakeLists.txt" | tr ';' '\n' | sort -u)
+# Every label mentioned in a mamps_add_test(<name> <source> "<l1>;<l2>")
+# call, plus the labels attached through plain add_test registrations
+# (example smoke tests, the lint gate) which the sed above cannot see.
+extra_labels="examples smoke lint"
+labels=$( { sed -n 's/^[[:space:]]*mamps_add_test([^ ]* [^ ]* "\{0,1\}\([^")]*\)"\{0,1\})/\1/p' \
+              "$repo_root/CMakeLists.txt" | tr ';' '\n'; \
+            printf '%s\n' $extra_labels; } | sort -u)
 
 if [[ -z "$labels" ]]; then
   echo "error: no mamps_add_test labels found in CMakeLists.txt" >&2

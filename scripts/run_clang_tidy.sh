@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# clang-tidy over the library sources, driven by the repo .clang-tidy
+# (WarningsAsErrors promotes every finding). Results are cached per
+# translation unit under .cache/clang-tidy: the cache key is the SHA-256
+# of the .clang-tidy config, the TU's own bytes, and a global hash over
+# every header in src/ — any header edit invalidates everything (cheap
+# and safe: correctness of the gate beats incremental precision). The
+# CI lint job persists the cache directory across runs, so an untouched
+# tree re-checks in seconds.
+#
+# clang-tidy is an optional dependency: when the binary is missing the
+# gate reports SKIP and exits 0 (local dev containers ship only gcc);
+# the CI lint job installs it.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]   (default: build)
+#   The build dir must contain compile_commands.json
+#   (CMAKE_EXPORT_COMPILE_COMMANDS=ON — the ci preset sets it).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+cache_dir="$repo_root/.cache/clang-tidy"
+
+clang_tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$clang_tidy" >/dev/null 2>&1; then
+  echo "SKIP: $clang_tidy not found (install clang-tidy or set CLANG_TIDY)"
+  exit 0
+fi
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "error: $build_dir/compile_commands.json not found" >&2
+  echo "       configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the ci preset does)" >&2
+  exit 2
+fi
+
+hash_cmd="sha256sum"
+command -v "$hash_cmd" >/dev/null 2>&1 || hash_cmd="shasum -a 256"
+
+mkdir -p "$cache_dir"
+cd "$repo_root"
+
+# One global fingerprint over the config and every header: a header
+# edit can change any TU's diagnostics, so it must invalidate them all.
+global_hash=$( { cat .clang-tidy; git ls-files 'src/**/*.hpp' | sort | xargs cat; } |
+               $hash_cmd | cut -d' ' -f1)
+
+status=0
+checked=0
+cached=0
+failed=0
+while IFS= read -r tu; do
+  key=$( { echo "$global_hash"; cat "$tu"; } | $hash_cmd | cut -d' ' -f1)
+  stamp="$cache_dir/$key.ok"
+  if [[ -f "$stamp" ]]; then
+    cached=$((cached + 1))
+    continue
+  fi
+  checked=$((checked + 1))
+  if "$clang_tidy" -p "$build_dir" --quiet "$tu" > "$cache_dir/last_output.txt" 2>&1; then
+    touch "$stamp"
+  else
+    echo "FAIL: clang-tidy findings in $tu"
+    cat "$cache_dir/last_output.txt"
+    status=1
+    failed=$((failed + 1))
+  fi
+done < <(git ls-files 'src/**/*.cpp')
+
+echo "clang-tidy: $checked checked, $cached cached-clean, $failed failed"
+exit $status

@@ -163,6 +163,7 @@ ThroughputResult IncrementalThroughput::compute() {
   // the from-scratch MCR path does before Howard runs.
   collapsed_.clear();
   collapsed_.reserve(edges_.size());
+  // lint:allow(unordered-deterministic) -- never iterated: try_emplace lookups only, and min() over parallel delays is order-independent
   std::unordered_map<std::uint64_t, std::size_t> byPair;
   byPair.reserve(edges_.size());
   for (const CycleRatioEdge& e : edges_) {

@@ -35,6 +35,7 @@ std::vector<Edge> buildEdges(const sdf::TimedGraph& hsdf) {
   // a large reduction on expanded graphs.
   std::vector<Edge> edges;
   edges.reserve(hsdf.graph.channelCount());
+  // lint:allow(unordered-deterministic) -- never iterated: try_emplace lookups only, and min() over parallel delays is order-independent
   std::unordered_map<std::uint64_t, std::size_t> byPair;
   byPair.reserve(hsdf.graph.channelCount());
   for (const sdf::Channel& c : hsdf.graph.channels()) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "analysis/mcm.hpp"
@@ -87,6 +89,7 @@ class Simulator {
       std::uint64_t completions = 0;
       std::uint64_t step = 0;
     };
+    // lint:allow(unordered-deterministic) -- iterated only to erase below a step watermark; only size() escapes, so iteration order never reaches a result
     std::unordered_map<StateKey, Visit, StateKeyHash> seen;
     std::uint64_t pruned = 0;
     std::uint64_t pruneWatermark = 0;
@@ -181,18 +184,11 @@ class Simulator {
   void computeStoredChannels() {
     storeToken_.assign(graph_.channelCount(), true);
     // Key: canonical (src, dst, prod, cons) signature with the two
-    // orientations mapped to the same bucket.
-    struct Signature {
-      std::uint64_t endpoints;
-      std::uint64_t rates;
-      bool operator==(const Signature&) const = default;
-    };
-    struct SignatureHash {
-      std::size_t operator()(const Signature& s) const {
-        return std::hash<std::uint64_t>{}(s.endpoints * 0x9e3779b97f4a7c15ULL ^ s.rates);
-      }
-    };
-    std::unordered_map<Signature, ChannelId, SignatureHash> representative;
+    // orientations mapped to the same bucket. Ordered map: which
+    // channel becomes the representative depends only on ChannelId
+    // order, never on hash-bucket layout.
+    using Signature = std::pair<std::uint64_t, std::uint64_t>;  // (endpoints, rates)
+    std::map<Signature, ChannelId> representative;
     for (ChannelId c = 0; c < graph_.channelCount(); ++c) {
       const Channel& channel = graph_.channel(c);
       if (channel.isSelfEdge()) {

@@ -42,6 +42,7 @@ std::string AdmissionController::decisionKey(const AppAnalysisCache& app,
   // reservation signature matches. The headroom flag separates the two
   // decision families (normal admissions vs recovery re-admissions,
   // which bypass the headroom) when a RecoveryPolicy is active.
+  // lint:allow(nondeterminism) -- process-local cache key: the cache must outlive the app model, so its address IS its identity; the key is never serialized or compared across runs
   std::string key = strprintf("e%llu|h%d|app=%p|o=%a,%a,%a,%a,%d,%u,%u,%u,%d,%u,%u|",
                               static_cast<unsigned long long>(faultEpoch_),
                               enforceHeadroom ? 1 : 0,
@@ -261,6 +262,7 @@ AdmissionDecision AdmissionController::decide(const AppAnalysisCache& app,
 
 AdmissionDecision AdmissionController::admit(const AppAnalysisCache& app,
                                              const MappingOptions& options) {
+  support::MutexLock lock(mu_);
   ++stats_.arrivals;
   const ClientId client = nextClient_++;
   AdmissionDecision decision = decide(app, options, client, /*enforceHeadroom=*/true);
@@ -273,6 +275,7 @@ AdmissionDecision AdmissionController::admit(const AppAnalysisCache& app,
 }
 
 void AdmissionController::depart(ClientId client) {
+  support::MutexLock lock(mu_);
   const auto it = residents_.find(client);
   if (it == residents_.end()) {
     throw Error("AdmissionController::depart: client " + std::to_string(client) +
@@ -284,6 +287,7 @@ void AdmissionController::depart(ClientId client) {
 }
 
 RecoveryReport AdmissionController::injectFault(const FaultEvent& fault) {
+  support::MutexLock lock(mu_);
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::uint32_t> stranded;
   switch (fault.kind) {
@@ -348,6 +352,7 @@ RecoveryReport AdmissionController::injectFault(const FaultEvent& fault) {
 }
 
 void AdmissionController::repair(const FaultEvent& fault) {
+  support::MutexLock lock(mu_);
   switch (fault.kind) {
     case FaultEvent::Kind::TileFail:
       budget_.repairTile(fault.tile);
@@ -367,6 +372,7 @@ void AdmissionController::repair(const FaultEvent& fault) {
 }
 
 std::vector<ClientId> AdmissionController::residentIds() const {
+  support::MutexLock lock(mu_);
   std::vector<ClientId> ids;
   ids.reserve(residents_.size());
   for (const auto& [client, res] : residents_) {
@@ -376,6 +382,7 @@ std::vector<ClientId> AdmissionController::residentIds() const {
 }
 
 const MappingResult& AdmissionController::resident(ClientId client) const {
+  support::MutexLock lock(mu_);
   const auto it = residents_.find(client);
   if (it == residents_.end()) {
     throw Error("AdmissionController::resident: client " + std::to_string(client) +

@@ -59,12 +59,12 @@
 #include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mapping/workload.hpp"
 #include "platform/fault.hpp"
 #include "platform/resource_budget.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace mamps::mapping {
 
@@ -224,8 +224,15 @@ struct AdmissionStats {
 };
 
 /// Online admission control against one live shared platform. See the
-/// header comment for semantics; not thread-safe (wrap externally to
-/// serve concurrent arrival streams).
+/// header comment for semantics. Internally synchronized: every public
+/// member function takes the controller's mutex, so concurrent arrival
+/// streams may share one controller. The reference-returning accessors
+/// (budget(), pristineBudget(), resident(), faults(), stats()) read the
+/// referenced state under the lock but hand the reference out unlocked
+/// — dereference them only while no other thread is mutating the
+/// controller, or copy under your own quiescence point. The shared
+/// state is MAMPS_GUARDED_BY(mu_), so the clang CI leg verifies with
+/// -Wthread-safety that no path touches it without the lock.
 class AdmissionController {
  public:
   /// Start a controller over `arch` with the MAMPS runtime layer
@@ -245,14 +252,14 @@ class AdmissionController {
   /// @param options mapping knobs for this instance
   /// @return the decision (client id + mapping when admitted)
   [[nodiscard]] AdmissionDecision admit(const AppAnalysisCache& app,
-                                        const MappingOptions& options = {});
+                                        const MappingOptions& options = {}) MAMPS_EXCLUDES(mu_);
 
   /// Tear down a resident client: every tile, SDM wire, and FSL link it
   /// holds returns to the residual exactly.
   /// @param client the departing client (from an admitted decision)
   /// @throws Error when `client` is not resident (double-depart or
   ///   unknown id)
-  void depart(ClientId client);
+  void depart(ClientId client) MAMPS_EXCLUDES(mu_);
 
   /// Apply one platform fault to the live budget, evacuate every
   /// stranded resident, and try to re-admit each onto the residual
@@ -261,7 +268,7 @@ class AdmissionController {
   /// @param fault the failing resource
   /// @return the per-client verdicts plus the recovery wall time
   /// @throws Error when the resource is already failed or out of range
-  RecoveryReport injectFault(const FaultEvent& fault);
+  RecoveryReport injectFault(const FaultEvent& fault) MAMPS_EXCLUDES(mu_);
 
   /// Undo one fault: the resource's capacity returns bit-identically
   /// (repair never touches reservations). Bumps the fault epoch.
@@ -270,23 +277,32 @@ class AdmissionController {
   /// @param fault the resource to repair (matched by kind + identity;
   ///   the wheel payload of a TdmDegrade is ignored)
   /// @throws Error when the resource is not currently failed
-  void repair(const FaultEvent& fault);
+  void repair(const FaultEvent& fault) MAMPS_EXCLUDES(mu_);
 
   /// The live platform fault state (empty = healthy).
   /// @return the budget's faults
-  [[nodiscard]] const platform::FaultState& faults() const { return budget_.faults(); }
+  [[nodiscard]] const platform::FaultState& faults() const MAMPS_EXCLUDES(mu_) {
+    support::MutexLock lock(mu_);
+    return budget_.faults();
+  }
 
   /// Monotone counter bumped on every injectFault and repair; prefixed
   /// to every plan-cache key, so within one controller a cached plan
   /// can only ever replay against the exact fault state it was
   /// recorded under.
   /// @return the current epoch (0 = never faulted)
-  [[nodiscard]] std::uint64_t faultEpoch() const { return faultEpoch_; }
+  [[nodiscard]] std::uint64_t faultEpoch() const MAMPS_EXCLUDES(mu_) {
+    support::MutexLock lock(mu_);
+    return faultEpoch_;
+  }
 
   /// The live shared budget (capacity minus every resident's
   /// reservations).
   /// @return the budget
-  [[nodiscard]] const platform::ResourceBudget& budget() const { return budget_; }
+  [[nodiscard]] const platform::ResourceBudget& budget() const MAMPS_EXCLUDES(mu_) {
+    support::MutexLock lock(mu_);
+    return budget_;
+  }
 
   /// The pristine reference: the budget as constructed (baseline only,
   /// no clients, no faults). After every resident departs and every
@@ -297,15 +313,21 @@ class AdmissionController {
   /// Has the live budget returned to pristine (no residents, no
   /// outstanding faults, nothing leaked)?
   /// @return budget() == pristineBudget()
-  [[nodiscard]] bool pristine() const { return budget_ == pristine_; }
+  [[nodiscard]] bool pristine() const MAMPS_EXCLUDES(mu_) {
+    support::MutexLock lock(mu_);
+    return budget_ == pristine_;
+  }
 
   /// Number of currently resident clients.
   /// @return the resident count
-  [[nodiscard]] std::size_t residentCount() const { return residents_.size(); }
+  [[nodiscard]] std::size_t residentCount() const MAMPS_EXCLUDES(mu_) {
+    support::MutexLock lock(mu_);
+    return residents_.size();
+  }
 
   /// The resident clients, in ascending id order.
   /// @return the ids of every resident
-  [[nodiscard]] std::vector<ClientId> residentIds() const;
+  [[nodiscard]] std::vector<ClientId> residentIds() const MAMPS_EXCLUDES(mu_);
 
   /// A resident client's admitted mapping (the guarantee it was
   /// admitted with — refreshed when the client was recovered after a
@@ -313,15 +335,21 @@ class AdmissionController {
   /// @param client the resident to look up
   /// @return the mapping result recorded at (re-)admission
   /// @throws Error when `client` is not resident
-  [[nodiscard]] const MappingResult& resident(ClientId client) const;
+  [[nodiscard]] const MappingResult& resident(ClientId client) const MAMPS_EXCLUDES(mu_);
 
   /// Lifetime counters.
   /// @return the stats
-  [[nodiscard]] const AdmissionStats& stats() const { return stats_; }
+  [[nodiscard]] const AdmissionStats& stats() const MAMPS_EXCLUDES(mu_) {
+    support::MutexLock lock(mu_);
+    return stats_;
+  }
 
   /// Current plan-cache entry count (bounded by planCacheCapacity).
   /// @return the number of memoized decisions
-  [[nodiscard]] std::size_t planCacheSize() const { return plans_.size(); }
+  [[nodiscard]] std::size_t planCacheSize() const MAMPS_EXCLUDES(mu_) {
+    support::MutexLock lock(mu_);
+    return plans_.size();
+  }
 
  private:
   /// One resident client: its admitted mapping plus everything needed
@@ -347,39 +375,46 @@ class AdmissionController {
   /// headroom-enforcement identities.
   [[nodiscard]] std::string decisionKey(const AppAnalysisCache& app,
                                         const MappingOptions& options,
-                                        bool enforceHeadroom) const;
+                                        bool enforceHeadroom) const MAMPS_REQUIRES(mu_);
   /// Replay a memoized admission by committing its reservations against
   /// the live budget. Returns false when the replayed commitments fail
   /// validation (the caller then falls back to the cold path).
   [[nodiscard]] bool replayAdmission(const CachedDecision& cached, const AppAnalysisCache& app,
                                      const MappingOptions& options, ClientId client,
-                                     AdmissionDecision& out);
+                                     AdmissionDecision& out) MAMPS_REQUIRES(mu_);
   /// The complete decision path (cache lookup, replay or cold mapping,
   /// memoization, commitment) for one client id. Recovery re-admissions
   /// pass enforceHeadroom = false.
   [[nodiscard]] AdmissionDecision decide(const AppAnalysisCache& app,
                                          const MappingOptions& options, ClientId client,
-                                         bool enforceHeadroom);
+                                         bool enforceHeadroom) MAMPS_REQUIRES(mu_);
   /// Would the post-admission residual `work` violate the recovery
   /// headroom policy?
   [[nodiscard]] bool violatesHeadroom(const platform::ResourceBudget& work) const;
   /// Move a cache entry to the LRU front.
-  void touchCacheEntry(CachedDecision& entry);
+  void touchCacheEntry(CachedDecision& entry) MAMPS_REQUIRES(mu_);
   /// Insert a decision into the cache, evicting the LRU tail past the
   /// capacity.
-  void storeCacheEntry(std::string key, CachedDecision memo);
+  void storeCacheEntry(std::string key, CachedDecision memo) MAMPS_REQUIRES(mu_);
 
-  const platform::Architecture* arch_ = nullptr;
-  AdmissionOptions options_{};
-  platform::ResourceBudget budget_;
-  platform::ResourceBudget pristine_;
-  ClientId nextClient_ = 0;
-  std::map<ClientId, Resident> residents_;
-  std::unordered_map<std::string, CachedDecision> plans_;
+  /// Serializes every public entry point. The private helpers above
+  /// are MAMPS_REQUIRES(mu_): they are only reachable with the lock
+  /// held, and never take it themselves (the mutex is non-recursive).
+  mutable support::Mutex mu_;
+
+  const platform::Architecture* arch_ = nullptr;  ///< immutable after construction
+  AdmissionOptions options_{};                    ///< immutable after construction
+  platform::ResourceBudget budget_ MAMPS_GUARDED_BY(mu_);
+  platform::ResourceBudget pristine_;  ///< immutable after construction
+  ClientId nextClient_ MAMPS_GUARDED_BY(mu_) = 0;
+  std::map<ClientId, Resident> residents_ MAMPS_GUARDED_BY(mu_);
+  /// Ordered map: plan-cache bookkeeping (size, eviction scans) must
+  /// never depend on hash-bucket layout.
+  std::map<std::string, CachedDecision> plans_ MAMPS_GUARDED_BY(mu_);
   /// Keys ordered by recency, front = most recent (LRU eviction order).
-  std::list<std::string> lru_;
-  std::uint64_t faultEpoch_ = 0;
-  AdmissionStats stats_{};
+  std::list<std::string> lru_ MAMPS_GUARDED_BY(mu_);
+  std::uint64_t faultEpoch_ MAMPS_GUARDED_BY(mu_) = 0;
+  AdmissionStats stats_ MAMPS_GUARDED_BY(mu_) = {};
 };
 
 }  // namespace mamps::mapping

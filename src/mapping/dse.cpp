@@ -3,14 +3,42 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
-#include <mutex>
 #include <thread>
+
+#include "support/thread_annotations.hpp"
 
 namespace mamps::mapping {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// First-error collector for a worker pool: keeps the earliest captured
+/// exception, drops the rest. The slot is MAMPS_GUARDED_BY the
+/// collector's mutex, so the clang -Wthread-safety CI leg proves no
+/// worker path touches it outside the lock.
+class ErrorCollector {
+ public:
+  /// Record the in-flight exception if no earlier one is held.
+  void capture() MAMPS_EXCLUDES(mu_) {
+    support::MutexLock lock(mu_);
+    if (!first_) {
+      first_ = std::current_exception();
+    }
+  }
+
+  /// Rethrow the held exception, if any. Call after the pool joined.
+  void rethrowIfSet() MAMPS_EXCLUDES(mu_) {
+    support::MutexLock lock(mu_);
+    if (first_) {
+      std::rethrow_exception(first_);
+    }
+  }
+
+ private:
+  support::Mutex mu_;
+  std::exception_ptr first_ MAMPS_GUARDED_BY(mu_);
+};
 
 double seconds(Clock::duration d) { return std::chrono::duration<double>(d).count(); }
 
@@ -125,17 +153,13 @@ DseResult exploreDesignSpace(const std::vector<const sdf::ApplicationModel*>& ap
   // and every point's computation depends only on immutable inputs, so
   // the result is independent of scheduling and thread count.
   std::atomic<std::size_t> next{0};
-  std::exception_ptr firstError;
-  std::mutex errorMutex;
+  ErrorCollector errors;
   const auto worker = [&] {
     for (std::size_t i = next.fetch_add(1); i < points.size(); i = next.fetch_add(1)) {
       try {
         out.points[i] = explorePoint(apps, sharedCaches, points[i]);
       } catch (...) {
-        const std::scoped_lock lock(errorMutex);
-        if (!firstError) {
-          firstError = std::current_exception();
-        }
+        errors.capture();
       }
     }
   };
@@ -153,9 +177,7 @@ DseResult exploreDesignSpace(const std::vector<const sdf::ApplicationModel*>& ap
       pool.emplace_back(worker);
     }
   }  // jthreads join here
-  if (firstError) {
-    std::rethrow_exception(firstError);
-  }
+  errors.rethrowIfSet();
 
   out.totalSeconds = seconds(Clock::now() - sweepStart);
   return out;

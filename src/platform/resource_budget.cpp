@@ -12,6 +12,7 @@ ResourceBudget::ResourceBudget(const Architecture& arch) : arch_(&arch) {
   }
 }
 
+// lint:allow(budget-provenance) -- the baseline is deliberately unclaimed: it belongs to the platform (runtime layer), not to any client, so no ledger entry exists to record it
 void ResourceBudget::commitBaseline(std::uint32_t instrBytes, std::uint32_t dataBytes) {
   // Validate every software tile before committing to any: a rejected
   // baseline must leave the budget untouched (all-or-nothing, matching

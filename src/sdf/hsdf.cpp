@@ -27,8 +27,10 @@ HsdfExpansion toHsdf(const TimedGraph& timed) {
       copies[a].push_back(id);
       out.originalActor.push_back(a);
       out.firingIndex.push_back(static_cast<std::uint32_t>(i));
+      // lint:allow(timedgraph-rebuild) -- actor-set-changing expansion: rebuildFrom cannot apply (see comment above); annotations are populated per emitted copy
       out.hsdf.execTime.push_back(timed.execTime.at(a));
       if (!timed.maxConcurrent.empty()) {
+        // lint:allow(timedgraph-rebuild) -- actor-set-changing expansion: same per-copy population as execTime above
         out.hsdf.maxConcurrent.push_back(timed.concurrencyLimit(a));
       }
     }

@@ -1,0 +1,121 @@
+// Clang thread-safety analysis annotations (-Wthread-safety), wrapped
+// so they compile away under every other compiler. Annotate shared
+// state with MAMPS_GUARDED_BY(mutex) and the member functions that
+// touch it with MAMPS_REQUIRES / MAMPS_EXCLUDES; the clang CI leg
+// builds the annotated targets with -Wthread-safety -Werror, turning
+// "touched guarded state without the lock" into a compile error
+// instead of a TSan-sized race hunt. The macro set follows the
+// canonical mutex.h pattern from the clang documentation.
+#pragma once
+
+#include <mutex>
+
+/// @file
+/// Thread-safety annotation macros for clang's -Wthread-safety
+/// analysis, plus annotated `Mutex`/`MutexLock` wrappers (libstdc++'s
+/// std::mutex carries no capability attributes, so locking it directly
+/// is invisible to the analysis). Under non-clang compilers every
+/// macro expands to nothing and the wrappers are zero-cost aliases for
+/// std::mutex + lock_guard behaviour.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define MAMPS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MAMPS_THREAD_ANNOTATION
+/// Expands to the clang attribute `x` when the compiler supports
+/// thread-safety attributes, and to nothing otherwise.
+/// @param x the thread-safety attribute to apply
+#define MAMPS_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability (e.g. a mutex wrapper class).
+/// @param x the capability name reported in diagnostics
+#define MAMPS_CAPABILITY(x) MAMPS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires a capability for its lifetime
+/// (e.g. a scoped_lock wrapper).
+#define MAMPS_SCOPED_CAPABILITY MAMPS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a data member may only be read or written while
+/// holding `x`; violations are compile errors under -Wthread-safety.
+/// @param x the protecting mutex member
+#define MAMPS_GUARDED_BY(x) MAMPS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the pointee of a pointer member may only be accessed
+/// while holding `x` (the pointer itself is unguarded).
+/// @param x the protecting mutex member
+#define MAMPS_PT_GUARDED_BY(x) MAMPS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares that the annotated function may only be called while
+/// already holding the listed capabilities.
+/// @param ... the mutexes the caller must hold
+#define MAMPS_REQUIRES(...) MAMPS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Declares that the annotated function may only be called while
+/// holding the listed capabilities in shared (reader) mode.
+/// @param ... the mutexes the caller must hold shared
+#define MAMPS_REQUIRES_SHARED(...) \
+  MAMPS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that the annotated function acquires the listed
+/// capabilities and does not release them before returning.
+/// @param ... the mutexes acquired
+#define MAMPS_ACQUIRE(...) MAMPS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Declares that the annotated function releases the listed
+/// capabilities before returning.
+/// @param ... the mutexes released
+#define MAMPS_RELEASE(...) MAMPS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Declares that the annotated function must NOT be called while
+/// holding the listed capabilities (deadlock prevention for functions
+/// that acquire them internally).
+/// @param ... the mutexes the caller must not hold
+#define MAMPS_EXCLUDES(...) MAMPS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares a function whose return value is the capability guarding
+/// other state (mutex accessors).
+/// @param x the capability returned
+#define MAMPS_RETURN_CAPABILITY(x) MAMPS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables thread-safety analysis inside the annotated
+/// function. Use only with a comment explaining why the analysis
+/// cannot see the invariant.
+#define MAMPS_NO_THREAD_SAFETY_ANALYSIS MAMPS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace mamps::support {
+
+/// std::mutex annotated as a clang thread-safety capability, so that
+/// MAMPS_GUARDED_BY(mu_) members and MAMPS_REQUIRES(mu_) functions are
+/// actually checked (a raw std::mutex from libstdc++ is invisible to
+/// the analysis). Same cost and semantics as std::mutex.
+class MAMPS_CAPABILITY("mutex") Mutex {
+ public:
+  /// Acquire the mutex (blocking).
+  void lock() MAMPS_ACQUIRE() { m_.lock(); }
+  /// Release the mutex.
+  void unlock() MAMPS_RELEASE() { m_.unlock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock over a Mutex, annotated as a scoped capability: the
+/// analysis treats the capability as held from construction to the end
+/// of the enclosing scope. Use exactly like std::lock_guard.
+class MAMPS_SCOPED_CAPABILITY MutexLock {
+ public:
+  /// Lock `m` for the lifetime of this object.
+  /// @param m the mutex to hold
+  explicit MutexLock(Mutex& m) MAMPS_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() MAMPS_RELEASE() { m_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+}  // namespace mamps::support

@@ -1,0 +1,28 @@
+// lint-fixture-path: src/platform/resource_budget.cpp
+// Golden fixture: the PR-6 leak class — a member function that mutates
+// reservation state (tiles_, usedWires_, freeFslLinks_, nextFslIndex_)
+// without recording per-client provenance in ledgers_. release() can
+// never tear this down, so a departed client leaks the capacity
+// forever. The finding lands on the function signature line.
+#include <cstdint>
+#include <vector>
+
+namespace mamps::platform {
+
+struct TileBudget {
+  std::uint64_t loadCycles = 0;
+};
+
+class ResourceBudget {
+ public:
+  void commitTile(std::uint32_t tile, std::uint64_t loadCycles);
+
+ private:
+  std::vector<TileBudget> tiles_;
+};
+
+void ResourceBudget::commitTile(std::uint32_t tile, std::uint64_t loadCycles) {  // lint:expect(budget-provenance)
+  tiles_[tile].loadCycles += loadCycles;  // no ledger entry: unreleasable
+}
+
+}  // namespace mamps::platform

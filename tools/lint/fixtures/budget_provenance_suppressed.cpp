@@ -1,0 +1,43 @@
+// lint-fixture-path: src/platform/resource_budget.cpp
+// Golden fixture: the suppressed twin — two clean shapes. A mutation
+// that records its provenance in the same body passes without any
+// suppression; a deliberately unclaimed mutation (the platform
+// baseline) suppresses on its signature line with the reason.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace mamps::platform {
+
+struct TileBudget {
+  std::uint64_t loadCycles = 0;
+};
+
+struct ClientLedger {
+  std::map<std::uint32_t, std::uint64_t> tiles;
+};
+
+class ResourceBudget {
+ public:
+  void commitTile(std::uint32_t tile, std::uint32_t client, std::uint64_t loadCycles);
+  void commitBaseline(std::uint64_t loadCycles);
+
+ private:
+  std::vector<TileBudget> tiles_;
+  std::map<std::uint32_t, ClientLedger> ledgers_;
+};
+
+void ResourceBudget::commitTile(std::uint32_t tile, std::uint32_t client,
+                                std::uint64_t loadCycles) {
+  tiles_[tile].loadCycles += loadCycles;
+  ledgers_[client].tiles[tile] += loadCycles;  // provenance recorded: releasable
+}
+
+// lint:allow(budget-provenance) -- platform baseline: deliberately unclaimed, never released
+void ResourceBudget::commitBaseline(std::uint64_t loadCycles) {
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    tiles_[t].loadCycles += loadCycles;
+  }
+}
+
+}  // namespace mamps::platform

@@ -1,0 +1,13 @@
+// lint-fixture-path: src/analysis/fixture_float.cpp
+// Golden fixture: floating point in the exact-rational analysis core.
+// A rounded bound is no longer conservative, and float results differ
+// across compilers/FPUs — the guarantee contract is exact Rationals.
+#include <cstdint>
+
+namespace mamps::analysis {
+
+double approximateThroughput(std::uint64_t completions, std::uint64_t period) {  // lint:expect(float-exact)
+  return static_cast<float>(completions) / static_cast<float>(period);  // lint:expect(float-exact)
+}
+
+}  // namespace mamps::analysis

@@ -1,0 +1,28 @@
+// lint-fixture-path: src/mapping/fixture_nondet.cpp
+// Golden fixture: every banned nondeterminism source in one file —
+// hidden-state RNGs, entropy seeds, wall-clock inputs, pointer-keyed
+// ordered containers, and pointer values formatted into strings.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+
+namespace mamps::mapping {
+
+struct Node {};
+
+std::uint64_t chaos(const Node* node) {
+  std::uint64_t h = static_cast<std::uint64_t>(std::rand());  // lint:expect(nondeterminism)
+  std::random_device entropy;                                 // lint:expect(nondeterminism)
+  std::mt19937 twister(entropy());                            // lint:expect(nondeterminism)
+  h += twister() + static_cast<std::uint64_t>(time(nullptr));  // lint:expect(nondeterminism)
+  std::map<const Node*, std::uint64_t> byAddress;              // lint:expect(nondeterminism)
+  byAddress[node] = h;
+  char key[32];
+  std::snprintf(key, sizeof key, "%p", static_cast<const void*>(node));  // lint:expect(nondeterminism)
+  return h;
+}
+
+}  // namespace mamps::mapping

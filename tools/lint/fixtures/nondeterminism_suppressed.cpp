@@ -1,0 +1,20 @@
+// lint-fixture-path: src/mapping/fixture_nondet_ok.cpp
+// Golden fixture: the suppressed twin — a pointer formatted into a
+// process-local cache key is acceptable when the key never leaves the
+// process and the pointee's identity IS the cache contract; the
+// justification says so.
+#include <cstdio>
+#include <string>
+
+namespace mamps::mapping {
+
+struct AppModel {};
+
+std::string cacheKey(const AppModel* app) {
+  char key[32];
+  // lint:allow(nondeterminism) -- process-local cache key: never serialized, identity is the contract
+  std::snprintf(key, sizeof key, "%p", static_cast<const void*>(app));
+  return key;
+}
+
+}  // namespace mamps::mapping

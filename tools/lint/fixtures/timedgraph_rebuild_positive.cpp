@@ -1,0 +1,21 @@
+// lint-fixture-path: src/mapping/fixture_rebuild.cpp
+// Golden fixture: the PR-4 bug class, verbatim — rebuilding a
+// TimedGraph by assigning fields one by one drops every annotation the
+// assignment list does not mention (withCapacities lost maxConcurrent
+// exactly this way). Both the aggregate-literal and the direct-mutation
+// shapes must be flagged.
+#include "sdf/graph.hpp"
+
+namespace mamps::mapping {
+
+sdf::TimedGraph rebuildByHand(const sdf::TimedGraph& timed, sdf::Graph transformed) {
+  sdf::TimedGraph out{std::move(transformed), timed.execTime};  // lint:expect(timedgraph-rebuild)
+  return out;  // maxConcurrent silently defaulted: pipelined stages serialize
+}
+
+void patchTiming(sdf::TimedGraph& timed) {
+  timed.execTime.push_back(1);  // lint:expect(timedgraph-rebuild)
+  timed.maxConcurrent = {};     // lint:expect(timedgraph-rebuild)
+}
+
+}  // namespace mamps::mapping

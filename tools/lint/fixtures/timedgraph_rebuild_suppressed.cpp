@@ -1,0 +1,21 @@
+// lint-fixture-path: src/mapping/fixture_rebuild_ok.cpp
+// Golden fixture: the suppressed twin — an actor-set-changing
+// transformation (the documented rebuildFrom exception) populates every
+// annotation per emitted actor and says so in its justification.
+#include "sdf/graph.hpp"
+
+namespace mamps::mapping {
+
+sdf::TimedGraph expandActors(const sdf::TimedGraph& timed) {
+  // lint:allow(timedgraph-rebuild) -- actor set changes: every annotation populated per copy
+  sdf::TimedGraph out{};
+  for (sdf::ActorId a = 0; a < timed.graph.actorCount(); ++a) {
+    // lint:allow(timedgraph-rebuild) -- actor set changes: every annotation populated per copy
+    out.execTime.push_back(timed.execTime.at(a));
+    // lint:allow(timedgraph-rebuild) -- actor set changes: every annotation populated per copy
+    out.maxConcurrent.push_back(timed.concurrencyLimit(a));
+  }
+  return out;
+}
+
+}  // namespace mamps::mapping

@@ -1,0 +1,21 @@
+// lint-fixture-path: src/analysis/fixture_unordered.cpp
+// Golden fixture: an unordered container declared in a
+// deterministic-results layer must be flagged. (Not compiled; the
+// linter sees the pretend path above.)
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mamps::analysis {
+
+std::vector<std::string> orderedReport() {
+  std::unordered_map<std::string, int> counts;  // lint:expect(unordered-deterministic)
+  counts.try_emplace("a", 1);
+  std::vector<std::string> out;
+  for (const auto& [key, value] : counts) {  // iteration order escapes into the result
+    out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace mamps::analysis

@@ -1,0 +1,16 @@
+// lint-fixture-path: src/analysis/fixture_unordered_ok.cpp
+// Golden fixture: the suppressed twin — a justified lint:allow on the
+// declaration line silences the check, and the linter accepts the file.
+#include <cstdint>
+#include <unordered_map>
+
+namespace mamps::analysis {
+
+std::uint64_t lookupOnly(std::uint64_t key) {
+  // lint:allow(unordered-deterministic) -- lookup-only memo: never iterated, only size()/find()
+  std::unordered_map<std::uint64_t, std::uint64_t> memo;
+  const auto it = memo.find(key);
+  return it == memo.end() ? 0 : it->second;
+}
+
+}  // namespace mamps::analysis

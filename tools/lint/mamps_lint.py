@@ -1,0 +1,549 @@
+#!/usr/bin/env python3
+"""mamps-lint: this repository's invariant linter.
+
+Every check encodes a bug class this codebase has actually shipped (or
+explicitly designs against); see docs/ARCHITECTURE.md "Correctness
+tooling" for the check-by-check history. The linter is deliberately
+dependency-free (python3 stdlib only) so it runs identically in CI, as
+a CTest, and on a bare checkout.
+
+Usage:
+  tools/lint/mamps_lint.py                 lint the default roots (src/)
+  tools/lint/mamps_lint.py PATH...         lint specific files/directories
+  tools/lint/mamps_lint.py --self-test     run the golden-fixture suite
+  tools/lint/mamps_lint.py --list-checks   print the check registry
+
+Suppressions: a finding is silenced by a comment on the same line or
+the line directly above it:
+
+  // lint:allow(<check-id>) -- <non-empty justification>
+
+A suppression without a justification is itself a finding: the whole
+point is that every accepted hazard carries its proof in the source.
+
+Fixtures (tools/lint/fixtures/) give every check one positive file the
+linter MUST flag and one suppressed twin it MUST accept; --self-test
+fails when a check matches nothing (the PR-5 zero-match-label lesson
+applied to this tool) or fires where it should not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+FIXTURE_DIR = os.path.join(REPO_ROOT, "tools", "lint", "fixtures")
+DEFAULT_ROOTS = ["src"]
+CXX_EXTENSIONS = (".cpp", ".hpp", ".cc", ".hh", ".h")
+
+SUPPRESS_RE = re.compile(r"//\s*lint:allow\(([a-z0-9-]+)\)\s*(?:--\s*(\S.*))?$")
+EXPECT_RE = re.compile(r"//\s*lint:expect\(([a-z0-9-]+)\)")
+FIXTURE_PATH_RE = re.compile(r"//\s*lint-fixture-path:\s*(\S+)")
+
+
+@dataclass
+class Finding:
+    path: str  # repo-relative path
+    line: int  # 1-based
+    check: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """One file plus the comment/string-stripped views the checks scan."""
+
+    path: str  # effective repo-relative path (fixtures may override)
+    raw: list[str] = field(default_factory=list)
+    code: list[str] = field(default_factory=list)  # comments stripped, strings kept
+    nostr: list[str] = field(default_factory=list)  # comments and strings stripped
+
+
+def strip_comments(lines: list[str]) -> tuple[list[str], list[str]]:
+    """Return (comments stripped, comments+strings stripped) views.
+
+    A line-oriented state machine: tracks /* */ across lines, handles
+    // comments and "..." / '...' literals with escapes. Raw string
+    literals are not handled (none in this codebase; the linter would
+    scan their contents, which is conservative).
+    """
+    code_lines: list[str] = []
+    nostr_lines: list[str] = []
+    in_block = False
+    for line in lines:
+        code: list[str] = []
+        nostr: list[str] = []
+        i = 0
+        n = len(line)
+        while i < n:
+            if in_block:
+                end = line.find("*/", i)
+                if end == -1:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            ch = line[i]
+            two = line[i : i + 2]
+            if two == "/*":
+                in_block = True
+                i += 2
+                continue
+            if two == "//":
+                break
+            if ch in "\"'":
+                quote = ch
+                literal = [ch]
+                i += 1
+                while i < n:
+                    c = line[i]
+                    literal.append(c)
+                    if c == "\\" and i + 1 < n:
+                        literal.append(line[i + 1])
+                        i += 2
+                        continue
+                    i += 1
+                    if c == quote:
+                        break
+                code.extend(literal)
+                nostr.append(quote + quote)
+                continue
+            code.append(ch)
+            nostr.append(ch)
+            i += 1
+        code_lines.append("".join(code))
+        nostr_lines.append("".join(nostr))
+    return code_lines, nostr_lines
+
+
+# ----------------------------------------------------------------- checks
+
+
+def in_dirs(path: str, *dirs: str) -> bool:
+    return any(path.startswith(d.rstrip("/") + "/") for d in dirs)
+
+
+def check_unordered_deterministic(src: SourceFile) -> list[Finding]:
+    """Unordered containers in layers with a deterministic-results contract.
+
+    analysis/ produces exact rationals and mapping/ produces mappings,
+    cache keys, and logged orders that must be bit-identical across runs
+    and thread counts. std::unordered_* iteration order is unspecified,
+    so any unordered container here is a hazard: migrate to std::map or
+    a sorted vector, or suppress with the proof that no iteration order
+    can reach a result, a key, or an output.
+    """
+    if not in_dirs(src.path, "src/analysis", "src/mapping"):
+        return []
+    pattern = re.compile(r"std::unordered_(?:map|set|multimap|multiset)\s*<")
+    out = []
+    for i, line in enumerate(src.code, 1):
+        if pattern.search(line):
+            out.append(
+                Finding(
+                    src.path,
+                    i,
+                    "unordered-deterministic",
+                    "unordered container in a deterministic-results layer; iteration order is "
+                    "unspecified — use std::map / a sorted vector, or suppress with proof that "
+                    "no iteration order escapes into results, keys, or output",
+                )
+            )
+    return out
+
+
+def check_timedgraph_rebuild(src: SourceFile) -> list[Finding]:
+    """Field-by-field TimedGraph reconstruction outside rebuildFrom.
+
+    The PR-4 bug class: analysis::withCapacities rebuilt a TimedGraph by
+    assigning graph+execTime and silently dropped maxConcurrent,
+    serializing pipelined comm stages in every binding-aware analysis.
+    Graph rewrites that keep the actor set must go through
+    TimedGraph::rebuildFrom (or copy the whole struct); transformations
+    that change the actor set must suppress with the per-actor
+    population argument.
+    """
+    if not src.path.startswith("src/") or src.path == "src/sdf/graph.hpp":
+        return []
+    aggregate = re.compile(r"\bTimedGraph\s*(?:\w+\s*)?\{")
+    mutation = re.compile(
+        r"\.(?:execTime|maxConcurrent)\s*(?:=[^=]|"
+        r"\.\s*(?:push_back|emplace_back|assign|resize|clear|insert)\b)"
+    )
+    out = []
+    for i, line in enumerate(src.code, 1):
+        if aggregate.search(line):
+            out.append(
+                Finding(
+                    src.path,
+                    i,
+                    "timedgraph-rebuild",
+                    "TimedGraph built from an explicit field list; a future per-actor annotation "
+                    "is silently defaulted here (the PR-4 withCapacities class) — use "
+                    "TimedGraph::rebuildFrom / a whole-struct copy, or suppress with the "
+                    "per-actor population argument",
+                )
+            )
+        elif mutation.search(line):
+            out.append(
+                Finding(
+                    src.path,
+                    i,
+                    "timedgraph-rebuild",
+                    "per-actor TimedGraph annotation mutated directly outside rebuildFrom; "
+                    "rebuilds that keep the actor set must copy the whole struct so no "
+                    "annotation can be dropped (the PR-4 withCapacities class)",
+                )
+            )
+    return out
+
+
+BUDGET_WRITE_PATTERNS = [
+    re.compile(r"tiles_\[[^\]]*\][^;<>!=]*(?:\+=|-=|=(?!=))"),
+    re.compile(r"tiles_\[[^\]]*\]\s*\.\s*\w+\s*\.\s*(?:erase|clear|insert|emplace)\b"),
+    re.compile(r"usedWires_\[[^\]]*\]\s*(?:\+=|-=|=(?!=))"),
+    re.compile(r"freeFslLinks_\s*\.\s*(?:push_back|pop_back|erase|insert|clear|emplace)\b"),
+    re.compile(r"nextFslIndex_\s*(?:\+\+|--|\+=|-=|=(?!=))"),
+]
+
+
+def check_budget_provenance(src: SourceFile) -> list[Finding]:
+    """ResourceBudget reservation mutations that bypass the ledgers.
+
+    The PR-6 leak class: a commit path that changes reservation state
+    (tiles_, usedWires_, freeFslLinks_, nextFslIndex_) without recording
+    per-client provenance in ledgers_ cannot be torn down by release(),
+    so a departed client leaks capacity forever. Every mutating member
+    function must touch the ledgers in the same body, or suppress on its
+    signature with the reason the mutation is not client-owned (e.g. the
+    platform baseline).
+    """
+    if src.path != "src/platform/resource_budget.cpp":
+        return []
+    signature = re.compile(r"\bResourceBudget::(\w+)")
+    out = []
+    i = 0
+    n = len(src.code)
+    while i < n:
+        m = signature.search(src.code[i])
+        if not m:
+            i += 1
+            continue
+        # Find the function's opening brace, then track to its close.
+        sig_line = i  # 0-based
+        depth = 0
+        body_start = None
+        j = i
+        while j < n:
+            for ch in src.code[j]:
+                if ch == "{":
+                    depth += 1
+                    if body_start is None:
+                        body_start = j
+                elif ch == "}":
+                    depth -= 1
+            if body_start is not None and depth == 0:
+                break
+            if body_start is None and ";" in src.code[j]:
+                break  # declaration, not a definition
+            j += 1
+        if body_start is None:
+            i += 1
+            continue
+        body = src.code[body_start : j + 1]
+        writes = [
+            body_start + k
+            for k, line in enumerate(body)
+            if any(p.search(line) for p in BUDGET_WRITE_PATTERNS)
+        ]
+        if writes and not any("ledgers_" in line for line in body):
+            out.append(
+                Finding(
+                    src.path,
+                    sig_line + 1,
+                    "budget-provenance",
+                    f"ResourceBudget::{m.group(1)} mutates reservation state without touching "
+                    "the provenance ledgers (the PR-6 leak class): release() cannot tear this "
+                    "down — record per-client provenance, or suppress with the reason the "
+                    "mutation is not client-owned",
+                )
+            )
+        i = j + 1
+    return out
+
+
+def check_float_exact(src: SourceFile) -> list[Finding]:
+    """Floating point in the exact-rational analysis core.
+
+    Throughput guarantees are exact Rationals; a float/double anywhere
+    in analysis/ or sdf/ risks a rounded guarantee that is no longer
+    conservative (and results that differ across compilers/FPUs).
+    Timing instrumentation belongs in the callers, not these layers.
+    """
+    if not in_dirs(src.path, "src/analysis", "src/sdf"):
+        return []
+    pattern = re.compile(r"\b(?:float|double|long\s+double)\b")
+    out = []
+    for i, line in enumerate(src.nostr, 1):
+        if pattern.search(line):
+            out.append(
+                Finding(
+                    src.path,
+                    i,
+                    "float-exact",
+                    "floating point in an exact-rational analysis path; guarantees must stay in "
+                    "Rational/integer arithmetic — move measurement code to the caller, or "
+                    "suppress with proof the value never reaches a guarantee",
+                )
+            )
+    return out
+
+
+NONDET_PATTERNS: list[tuple[re.Pattern[str], str, bool]] = [
+    # (pattern, message, scan the string-stripped view?)
+    (
+        re.compile(r"std::rand\b|\bsrand\s*\("),
+        "std::rand/srand: global hidden state, unspecified algorithm — use mamps::Rng with an "
+        "explicit seed",
+        True,
+    ),
+    (
+        re.compile(r"\brandom_device\b"),
+        "std::random_device: a fresh entropy source makes every run unreproducible — use "
+        "mamps::Rng with an explicit seed",
+        True,
+    ),
+    (
+        re.compile(r"\bmt19937(?:_64)?\b"),
+        "std::mt19937: naive seeding gives correlated streams and runs are hard to pin — use "
+        "mamps::Rng with an explicit seed",
+        True,
+    ),
+    (
+        re.compile(r"\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)|\bsystem_clock\b"),
+        "wall-clock time as an input: results depend on when the run happened — use "
+        "steady_clock for durations and explicit seeds for randomness",
+        True,
+    ),
+    (
+        re.compile(r"std::(?:map|set|multimap|multiset)\s*<[^<>,]*\*\s*[,>]"),
+        "pointer-keyed ordered container: iteration order follows allocation addresses, which "
+        "vary run to run (ASLR) — key by a stable id instead",
+        True,
+    ),
+    (
+        re.compile(r'"[^"]*%p[^"]*"'),
+        "pointer value formatted into a string: addresses vary run to run (ASLR) — if this "
+        "reaches a key, a log, or a file, use a stable id instead",
+        False,
+    ),
+]
+
+
+def check_nondeterminism(src: SourceFile) -> list[Finding]:
+    """Banned nondeterminism sources anywhere in src/."""
+    if not src.path.startswith("src/"):
+        return []
+    out = []
+    for pattern, message, use_nostr in NONDET_PATTERNS:
+        view = src.nostr if use_nostr else src.code
+        for i, line in enumerate(view, 1):
+            if pattern.search(line):
+                out.append(Finding(src.path, i, "nondeterminism", message))
+    return out
+
+
+CHECKS = {
+    "unordered-deterministic": check_unordered_deterministic,
+    "timedgraph-rebuild": check_timedgraph_rebuild,
+    "budget-provenance": check_budget_provenance,
+    "float-exact": check_float_exact,
+    "nondeterminism": check_nondeterminism,
+}
+
+
+# ------------------------------------------------------------ driver
+
+
+def scan_file(fs_path: str, effective_path: str) -> tuple[list[Finding], list[Finding]]:
+    """Run every check on one file.
+
+    Returns (findings after suppression, suppression-grammar errors).
+    """
+    with open(fs_path, encoding="utf-8", errors="replace") as f:
+        raw = f.read().splitlines()
+    code, nostr = strip_comments(raw)
+    src = SourceFile(path=effective_path, raw=raw, code=code, nostr=nostr)
+
+    suppressions: dict[int, set[str]] = {}  # 1-based line -> check ids
+    errors: list[Finding] = []
+    for i, line in enumerate(raw, 1):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        check, justification = m.group(1), m.group(2)
+        if check not in CHECKS:
+            errors.append(
+                Finding(effective_path, i, "lint-usage", f"lint:allow names unknown check '{check}'")
+            )
+            continue
+        if not justification:
+            errors.append(
+                Finding(
+                    effective_path,
+                    i,
+                    "lint-usage",
+                    f"lint:allow({check}) without a justification — write "
+                    f"'// lint:allow({check}) -- <why this is safe>'",
+                )
+            )
+            continue
+        suppressions.setdefault(i, set()).add(check)
+
+    findings: list[Finding] = []
+    for checker in CHECKS.values():
+        for finding in checker(src):
+            allowed = suppressions.get(finding.line, set()) | suppressions.get(
+                finding.line - 1, set()
+            )
+            if finding.check in allowed:
+                continue
+            findings.append(finding)
+    return findings, errors
+
+
+def collect_targets(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for path in paths:
+        fs = path if os.path.isabs(path) else os.path.join(REPO_ROOT, path)
+        if os.path.isfile(fs):
+            files.append(fs)
+            continue
+        for dirpath, dirnames, filenames in os.walk(fs):
+            dirnames[:] = sorted(d for d in dirnames if d != "fixtures" or "tools" not in dirpath)
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    files.append(os.path.join(dirpath, name))
+    return files
+
+
+def lint(paths: list[str]) -> int:
+    targets = collect_targets(paths or DEFAULT_ROOTS)
+    if not targets:
+        print("mamps-lint: no C++ files found under the given paths", file=sys.stderr)
+        return 2
+    all_findings: list[Finding] = []
+    for fs_path in targets:
+        rel = os.path.relpath(fs_path, REPO_ROOT).replace(os.sep, "/")
+        findings, errors = scan_file(fs_path, rel)
+        all_findings.extend(errors)
+        all_findings.extend(findings)
+    for finding in all_findings:
+        print(finding.render())
+    counts: dict[str, int] = {}
+    for finding in all_findings:
+        counts[finding.check] = counts.get(finding.check, 0) + 1
+    if all_findings:
+        summary = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+        print(f"mamps-lint: {len(all_findings)} finding(s) in {len(targets)} file(s) ({summary})")
+        return 1
+    print(f"mamps-lint: clean ({len(targets)} files, {len(CHECKS)} checks)")
+    return 0
+
+
+def self_test() -> int:
+    """Golden-fixture suite: every check must flag its positive fixture
+    exactly where the lint:expect() markers say, and accept its
+    suppressed twin completely. A check with no firing fixture fails —
+    a check that silently stops matching is how a gate dies."""
+    failures: list[str] = []
+    fired: set[str] = set()
+    accepted: set[str] = set()
+
+    if not os.path.isdir(FIXTURE_DIR):
+        print(f"mamps-lint: fixture directory missing: {FIXTURE_DIR}", file=sys.stderr)
+        return 2
+
+    for name in sorted(os.listdir(FIXTURE_DIR)):
+        if not name.endswith(CXX_EXTENSIONS):
+            continue
+        fs_path = os.path.join(FIXTURE_DIR, name)
+        with open(fs_path, encoding="utf-8") as f:
+            raw = f.read().splitlines()
+        m = FIXTURE_PATH_RE.search(raw[0]) if raw else None
+        if not m:
+            failures.append(f"{name}: first line must be '// lint-fixture-path: <pretend path>'")
+            continue
+        effective = m.group(1)
+        expected: dict[tuple[int, str], bool] = {}
+        for i, line in enumerate(raw, 1):
+            for em in EXPECT_RE.finditer(line):
+                expected[(i, em.group(1))] = False
+        findings, errors = scan_file(fs_path, effective)
+        for err in errors:
+            failures.append(f"{name}: {err.render()}")
+        for finding in findings:
+            key = (finding.line, finding.check)
+            if key in expected:
+                expected[key] = True
+                fired.add(finding.check)
+            else:
+                failures.append(f"{name}: unexpected finding: {finding.render()}")
+        for (line, check), seen in expected.items():
+            if not seen:
+                failures.append(
+                    f"{name}:{line}: expected [{check}] finding did not fire — the check "
+                    "silently stopped matching"
+                )
+        if not expected and not findings and not errors:
+            # A suppressed twin: it must contain at least one lint:allow.
+            allows = {m.group(1) for line in raw for m in [SUPPRESS_RE.search(line)] if m}
+            if allows:
+                accepted.update(allows)
+            else:
+                failures.append(f"{name}: fixture has no expects and no suppressions — dead file")
+
+    for check in CHECKS:
+        if check not in fired:
+            failures.append(f"check '{check}' has no positive fixture that fires — add one")
+        if check not in accepted:
+            failures.append(f"check '{check}' has no suppressed fixture it accepts — add one")
+
+    if failures:
+        for failure in failures:
+            print(f"SELF-TEST FAIL: {failure}")
+        print(f"mamps-lint --self-test: {len(failures)} failure(s)")
+        return 1
+    print(
+        f"mamps-lint --self-test: ok ({len(CHECKS)} checks, every one fires on its positive "
+        "fixture and accepts its suppressed twin)"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", help="files or directories (default: src/)")
+    parser.add_argument("--self-test", action="store_true", help="run the fixture suite")
+    parser.add_argument("--list-checks", action="store_true", help="print the check registry")
+    args = parser.parse_args()
+    if args.list_checks:
+        for name, fn in CHECKS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name}: {doc}")
+        return 0
+    if args.self_test:
+        return self_test()
+    return lint(args.paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Single entry point for every repo-specific static gate. Runs, in
+# order:
+#
+#   1. mamps-lint self-test  — the golden fixtures (a dead check fails)
+#   2. mamps-lint tree scan  — the five invariant checks over src/
+#   3. check_labels          — every declared CTest label matches >= 1
+#                              test (needs a configured build dir;
+#                              skipped with a warning when absent)
+#   4. check_doc_links       — docs/ markdown links resolve
+#   5. check_format          — clang-format over tools/, scripts/, and
+#                              PR-changed files (SKIP without the tool)
+#   6. clang-tidy            — curated checks, cached per TU (SKIP
+#                              without the tool)
+#
+# Every gate runs even after a failure; the summary table at the end
+# lists each verdict and the exit code is nonzero when any gate failed.
+#
+# Usage: tools/lint/run.sh [--build-dir <dir>]   (default: build)
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+build_dir="$repo_root/build"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build_dir="$2"; shift 2 ;;
+    *) echo "usage: $0 [--build-dir <dir>]" >&2; exit 2 ;;
+  esac
+done
+
+python="${PYTHON:-python3}"
+
+declare -a names=() verdicts=()
+overall=0
+
+run_gate() {
+  local name="$1"
+  shift
+  local out rc
+  echo "==> $name"
+  out=$("$@" 2>&1)
+  rc=$?
+  echo "$out"
+  local verdict
+  if [[ $rc -eq 0 ]]; then
+    if grep -q '^SKIP' <<< "$out"; then verdict="SKIP"; else verdict="ok"; fi
+  else
+    verdict="FAIL"
+    overall=1
+  fi
+  names+=("$name")
+  verdicts+=("$verdict")
+}
+
+run_gate "mamps-lint --self-test" "$python" "$repo_root/tools/lint/mamps_lint.py" --self-test
+run_gate "mamps-lint tree scan" "$python" "$repo_root/tools/lint/mamps_lint.py"
+
+if [[ -f "$build_dir/CTestTestfile.cmake" ]]; then
+  run_gate "check_labels" "$repo_root/scripts/check_labels.sh" "$build_dir"
+else
+  echo "==> check_labels"
+  echo "SKIP: '$build_dir' is not a configured build dir (pass --build-dir)"
+  names+=("check_labels")
+  verdicts+=("SKIP")
+fi
+
+run_gate "check_doc_links" "$repo_root/scripts/check_doc_links.sh"
+run_gate "check_format" "$repo_root/scripts/check_format.sh"
+run_gate "clang-tidy" "$repo_root/scripts/run_clang_tidy.sh" "$build_dir"
+
+echo
+echo "---- lint summary ----"
+for i in "${!names[@]}"; do
+  printf '%-24s %s\n' "${names[$i]}" "${verdicts[$i]}"
+done
+exit $overall
