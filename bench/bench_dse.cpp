@@ -6,7 +6,10 @@
 // warm-started Howard, worker pool) — and verify the two sweeps'
 // throughput rationals are bit-identical. Prints one JSON object to
 // stdout; the trajectory at ../BENCH_dse.json records these numbers
-// across PRs. Exits non-zero when the sweeps disagree.
+// across PRs. Exits non-zero when the sweeps disagree, or when the
+// engine's mean per-point latency exceeds 1.5x the committed
+// trajectory's latest entry (the perf regression gate — wins recorded
+// in BENCH_dse.json cannot silently rot).
 #include <cstdio>
 #include <thread>
 
@@ -77,6 +80,14 @@ int main() {
     }
   }
 
+  // Perf regression gate: the committed trajectory's latest
+  // engine_mean_point_ms (BENCH_dse.json, PR 10) with 1.5x headroom
+  // for host variance. Update the constant when appending an entry.
+  constexpr double kCommittedMeanPointMs = 0.95;
+  constexpr double kGateFactor = 1.5;
+  const double meanPointMs = engine.meanPointSeconds() * 1e3;
+  const bool withinBudget = meanPointMs <= kGateFactor * kCommittedMeanPointMs;
+
   const double speedup =
       engine.totalSeconds > 0.0 ? baseline.totalSeconds / engine.totalSeconds : 0.0;
   std::printf("{\n");
@@ -90,7 +101,9 @@ int main() {
   std::printf("  \"engine_seconds\": %.3f,\n", engine.totalSeconds);
   std::printf("  \"engine_mean_point_ms\": %.2f,\n", engine.meanPointSeconds() * 1e3);
   std::printf("  \"speedup\": %.2f,\n", speedup);
-  std::printf("  \"identical_rationals\": %s\n", identical ? "true" : "false");
+  std::printf("  \"identical_rationals\": %s,\n", identical ? "true" : "false");
+  std::printf("  \"perf_gate_limit_ms\": %.2f,\n", kGateFactor * kCommittedMeanPointMs);
+  std::printf("  \"perf_within_budget\": %s\n", withinBudget ? "true" : "false");
   std::printf("}\n");
-  return identical ? 0 : 1;
+  return identical && withinBudget ? 0 : 1;
 }

@@ -5,8 +5,15 @@
 // them. The engines compute identical values (asserted in the test
 // suite); this bench compares their runtime as graphs grow, using
 // google-benchmark. The BENCH_throughput.json trajectory at the repo
-// root records these numbers across PRs.
+// root records these numbers across PRs. After the benchmarks, a perf
+// regression gate re-times the unified MCR fast path directly and
+// exits non-zero when the mean per-analysis latency exceeds 1.5x the
+// committed trajectory's latest entry — wins recorded in
+// BENCH_throughput.json cannot silently rot.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
 
 #include "analysis/buffer.hpp"
 #include "analysis/mcm.hpp"
@@ -124,6 +131,49 @@ void BM_BufferSizing(benchmark::State& state) {
 }
 BENCHMARK(BM_BufferSizing)->Arg(4)->Arg(8)->Arg(16);
 
+/// Perf regression gate: mean wall time per computeThroughput call on
+/// the unified MCR fast path over the three trajectory ring sizes,
+/// against 1.5x the mean of the committed trajectory's latest
+/// unified_auto entry (BENCH_throughput.json, PR 10). Update the
+/// constant when appending an entry.
+int runRegressionGate() {
+  constexpr double kCommittedMeanMs = 0.13;
+  constexpr double kGateFactor = 1.5;
+  constexpr int kReps = 20;
+  double totalMs = 0.0;
+  int solves = 0;
+  for (const std::uint32_t n : {64u, 128u, 256u}) {
+    const auto timed = makeRing(n, n / 4, 42);
+    auto warmup = analysis::computeThroughput(timed);
+    benchmark::DoNotOptimize(warmup);
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i) {
+      auto result = analysis::computeThroughput(timed);
+      benchmark::DoNotOptimize(result);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    totalMs += std::chrono::duration<double, std::milli>(end - start).count();
+    solves += kReps;
+  }
+  const double meanMs = totalMs / solves;
+  const double limitMs = kGateFactor * kCommittedMeanMs;
+  std::fprintf(stderr, "perf gate: unified MCR mean %.3f ms per analysis (limit %.3f ms)\n",
+               meanMs, limitMs);
+  if (meanMs > limitMs) {
+    std::fprintf(stderr, "perf gate FAILED: regression vs committed trajectory\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return runRegressionGate();
+}

@@ -1,0 +1,185 @@
+#include "analysis/flat_hsdf.hpp"
+
+#include <algorithm>
+
+#include "sdf/hsdf.hpp"
+#include "sdf/repetition_vector.hpp"
+
+namespace mamps::analysis {
+
+using sdf::ActorId;
+using sdf::Channel;
+using sdf::ChannelId;
+
+void FlatExpansion::build(const sdf::TimedGraph& timed, const ResourceConstraints* resources) {
+  const sdf::Graph& g = timed.graph;
+  if (timed.execTime.size() != g.actorCount()) {
+    throw AnalysisError("FlatExpansion: execTime size does not match actor count");
+  }
+  const auto qOpt = sdf::computeRepetitionVector(g);
+  if (!qOpt) {
+    throw AnalysisError("FlatExpansion: graph '" + g.name() + "' is inconsistent");
+  }
+  q_ = *qOpt;
+
+  copyStart_.resize(g.actorCount());
+  hsdfActors_ = 0;
+  for (ActorId a = 0; a < g.actorCount(); ++a) {
+    copyStart_[a] = static_cast<std::uint32_t>(hsdfActors_);
+    hsdfActors_ += q_[a];
+  }
+
+  // Channel token slabs: one edge per token consumed within an
+  // iteration. Slab extents depend only on rates and the repetition
+  // vector, so they are immutable; the edges inside a slab depend on
+  // the channel's initial tokens and are (re-)encoded by patchChannel.
+  slabOffset_.assign(g.channelCount(), 0);
+  std::size_t total = 0;
+  for (ChannelId c = 0; c < g.channelCount(); ++c) {
+    slabOffset_[c] = total;
+    total += q_[g.channel(c).dst] * g.channel(c).consRate;
+  }
+  edges_.clear();
+  edges_.resize(total);
+  for (ChannelId c = 0; c < g.channelCount(); ++c) {
+    patchChannel(timed, c);
+  }
+
+  // Self-concurrency constraints (see sdf::toHsdf): an actor with
+  // finite limit k gets the expansion of a virtual rate-1 self-edge
+  // carrying k tokens. These edges never change.
+  for (ActorId a = 0; a < g.actorCount(); ++a) {
+    const std::uint64_t limit = timed.concurrencyLimit(a);
+    if (limit == 0) {
+      continue;
+    }
+    for (std::uint64_t j = 0; j < q_[a]; ++j) {
+      const sdf::TokenDependency dep = sdf::hsdfTokenDependency(j, limit, 1, q_[a]);
+      CycleRatioEdge e;
+      e.from = copyStart_[a] + static_cast<std::uint32_t>(dep.srcCopy);
+      e.to = copyStart_[a] + static_cast<std::uint32_t>(j);
+      e.weight = static_cast<std::int64_t>(timed.execTime[a]);
+      e.delay = static_cast<std::int64_t>(dep.delay);
+      edges_.push_back(e);
+    }
+  }
+
+  // Static-order chains (see toHsdfWithStaticOrder): the j-th
+  // appearance of an actor is its firing copy j; consecutive
+  // appearances are linked, the wrap-around edge carries one token.
+  // The encoding is only exact when every bound actor appears exactly
+  // q[a] times on its own resource — validated here, matching the
+  // graph-materializing path's checks.
+  if (resources != nullptr) {
+    resources->validateFor(g);
+    std::vector<std::uint64_t> appearance(g.actorCount(), 0);
+    for (std::size_t r = 0; r < resources->staticOrder.size(); ++r) {
+      const auto& order = resources->staticOrder[r];
+      if (order.empty()) {
+        continue;
+      }
+      std::fill(appearance.begin(), appearance.end(), 0);
+      std::vector<std::uint32_t> chain;
+      chain.reserve(order.size());
+      for (const ActorId a : order) {
+        if (resources->actorResource[a] != r) {
+          throw AnalysisError("FlatExpansion: actor " + g.actor(a).name +
+                              " is scheduled on a resource it is not bound to");
+        }
+        const std::uint64_t j = appearance[a]++;
+        if (j >= q_[a]) {
+          throw AnalysisError("FlatExpansion: actor " + g.actor(a).name +
+                              " appears more often than its repetition count");
+        }
+        chain.push_back(copyStart_[a] + static_cast<std::uint32_t>(j));
+      }
+      for (ActorId a = 0; a < g.actorCount(); ++a) {
+        if (resources->actorResource[a] == r && appearance[a] != q_[a]) {
+          throw AnalysisError("FlatExpansion: actor " + g.actor(a).name + " appears " +
+                              std::to_string(appearance[a]) +
+                              " times in its static order, expected q = " +
+                              std::to_string(q_[a]));
+        }
+      }
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        const std::size_t next = (i + 1) % chain.size();
+        CycleRatioEdge e;
+        e.from = chain[i];
+        e.to = chain[next];
+        e.weight = static_cast<std::int64_t>(timed.execTime[order[i]]);
+        e.delay = (next == 0) ? 1 : 0;
+        edges_.push_back(e);
+      }
+    }
+  }
+}
+
+void FlatExpansion::patchChannel(const sdf::TimedGraph& timed, ChannelId channel) {
+  // One edge per token consumed within an iteration, following the
+  // shared token rule of the standard expansion (sdf::
+  // hsdfTokenDependency — the same function sdf::toHsdf uses, so the
+  // flat table cannot drift from the from-scratch encoding).
+  const Channel& ch = timed.graph.channel(channel);
+  const std::uint64_t cons = ch.consRate;
+  const std::uint64_t qDst = q_[ch.dst];
+  const auto weight = static_cast<std::int64_t>(timed.execTime[ch.src]);
+  std::size_t slot = slabOffset_[channel];
+  for (std::uint64_t j = 0; j < qDst; ++j) {
+    for (std::uint64_t k = 0; k < cons; ++k) {
+      const sdf::TokenDependency dep =
+          sdf::hsdfTokenDependency(j * cons + k, ch.initialTokens, ch.prodRate, q_[ch.src]);
+      CycleRatioEdge& e = edges_[slot++];
+      e.from = copyStart_[ch.src] + static_cast<std::uint32_t>(dep.srcCopy);
+      e.to = copyStart_[ch.dst] + static_cast<std::uint32_t>(j);
+      e.weight = weight;
+      e.delay = static_cast<std::int64_t>(dep.delay);
+    }
+  }
+}
+
+const std::vector<CycleRatioEdge>& FlatExpansion::collapse() {
+  // Collapse parallel edges to the minimum-delay representative. The
+  // groups are not static — a slab's endpoints move with its token
+  // count — so the grouping is redone per call, but hash-free: a
+  // counting sort buckets edges by source, then within each source
+  // bucket an epoch-stamped slot table dedups targets (the epoch is the
+  // bucket's position, so the V-sized tables never need clearing).
+  const auto n = static_cast<std::uint32_t>(hsdfActors_);
+  collapsed_.clear();
+  collapsed_.reserve(edges_.size());
+  srcOff_.assign(n + 1, 0);
+  for (const CycleRatioEdge& e : edges_) {
+    ++srcOff_[e.from + 1];
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    srcOff_[v + 1] += srcOff_[v];
+  }
+  srcIdx_.resize(edges_.size());
+  {
+    std::vector<std::uint32_t>& cursor = seenSlot_;  // reuse as fill cursor
+    cursor.assign(n, 0);
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      const std::uint32_t v = edges_[i].from;
+      srcIdx_[srcOff_[v] + cursor[v]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  seenEpoch_.assign(n, 0);
+  seenSlot_.assign(n, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t epoch = v + 1;
+    for (std::uint32_t i = srcOff_[v]; i < srcOff_[v + 1]; ++i) {
+      const CycleRatioEdge& e = edges_[srcIdx_[i]];
+      if (seenEpoch_[e.to] == epoch) {
+        CycleRatioEdge& existing = collapsed_[seenSlot_[e.to]];
+        existing.delay = std::min(existing.delay, e.delay);
+        continue;
+      }
+      seenEpoch_[e.to] = epoch;
+      seenSlot_[e.to] = static_cast<std::uint32_t>(collapsed_.size());
+      collapsed_.push_back(e);
+    }
+  }
+  return collapsed_;
+}
+
+}  // namespace mamps::analysis

@@ -1,14 +1,9 @@
 #include "analysis/incremental.hpp"
 
-#include <unordered_map>
-
-#include "sdf/hsdf.hpp"
-#include "sdf/repetition_vector.hpp"
+#include "support/timer.hpp"
 
 namespace mamps::analysis {
 
-using sdf::ActorId;
-using sdf::Channel;
 using sdf::ChannelId;
 
 IncrementalThroughput::IncrementalThroughput(const sdf::TimedGraph& timed,
@@ -29,105 +24,11 @@ IncrementalThroughput::IncrementalThroughput(const sdf::TimedGraph& timed,
   fastPath_ = options_.engine != ThroughputEngine::StateSpace &&
               mcrFastPathApplicable(timed_, res, options_);
   if (fastPath_) {
-    buildExpansion();
-  }
-}
-
-void IncrementalThroughput::buildExpansion() {
-  // The layout mirrors sdf::toHsdf + toHsdfWithStaticOrder, minus the
-  // graph materialization: q[a] firing copies per actor, one edge per
-  // consumed token, the virtual self-edge expansion for finite
-  // self-concurrency limits, and the static-order chains. Only the
-  // per-channel token slabs ever change; everything after them is
-  // static.
-  q_ = *sdf::computeRepetitionVector(timed_.graph);  // consistent per fastPath_
-  copyStart_.resize(timed_.graph.actorCount());
-  hsdfActors_ = 0;
-  for (ActorId a = 0; a < timed_.graph.actorCount(); ++a) {
-    copyStart_[a] = static_cast<std::uint32_t>(hsdfActors_);
-    hsdfActors_ += q_[a];
-  }
-
-  edges_.clear();
-  slabOffset_.assign(timed_.graph.channelCount(), 0);
-  std::size_t total = 0;
-  for (ChannelId c = 0; c < timed_.graph.channelCount(); ++c) {
-    slabOffset_[c] = total;
-    total += q_[timed_.graph.channel(c).dst] * timed_.graph.channel(c).consRate;
-  }
-  edges_.resize(total);
-  for (ChannelId c = 0; c < timed_.graph.channelCount(); ++c) {
-    rebuildChannelSlab(c);
-  }
-
-  // Self-concurrency constraints (see sdf::toHsdf): an actor with
-  // finite limit k gets the expansion of a virtual rate-1 self-edge
-  // carrying k tokens. These edges never change.
-  for (ActorId a = 0; a < timed_.graph.actorCount(); ++a) {
-    const std::uint64_t limit = timed_.concurrencyLimit(a);
-    if (limit == 0) {
-      continue;
-    }
-    for (std::uint64_t j = 0; j < q_[a]; ++j) {
-      const sdf::TokenDependency dep = sdf::hsdfTokenDependency(j, limit, 1, q_[a]);
-      CycleRatioEdge e;
-      e.from = copyStart_[a] + static_cast<std::uint32_t>(dep.srcCopy);
-      e.to = copyStart_[a] + static_cast<std::uint32_t>(j);
-      e.weight = static_cast<std::int64_t>(timed_.execTime[a]);
-      e.delay = static_cast<std::int64_t>(dep.delay);
-      edges_.push_back(e);
-    }
-  }
-
-  // Static-order chains (see toHsdfWithStaticOrder): the j-th
-  // appearance of an actor is its firing copy j; consecutive
-  // appearances are linked, the wrap-around edge carries one token.
-  // mcrFastPathApplicable already verified the appearance counts.
-  if (resources_) {
-    std::vector<std::uint64_t> appearance(timed_.graph.actorCount(), 0);
-    for (const auto& order : resources_->staticOrder) {
-      if (order.empty()) {
-        continue;
-      }
-      std::fill(appearance.begin(), appearance.end(), 0);
-      std::vector<std::uint32_t> chain;
-      chain.reserve(order.size());
-      for (const ActorId a : order) {
-        chain.push_back(copyStart_[a] + static_cast<std::uint32_t>(appearance[a]++));
-      }
-      for (std::size_t i = 0; i < chain.size(); ++i) {
-        const std::size_t next = (i + 1) % chain.size();
-        CycleRatioEdge e;
-        e.from = chain[i];
-        e.to = chain[next];
-        e.weight = static_cast<std::int64_t>(timed_.execTime[order[i]]);
-        e.delay = (next == 0) ? 1 : 0;
-        edges_.push_back(e);
-      }
-    }
-  }
-}
-
-void IncrementalThroughput::rebuildChannelSlab(ChannelId channel) {
-  // One edge per token consumed within an iteration, following the
-  // shared token rule of the standard expansion (sdf::
-  // hsdfTokenDependency — the same function sdf::toHsdf uses, so the
-  // cached table cannot drift from the from-scratch encoding).
-  const Channel& ch = timed_.graph.channel(channel);
-  const std::uint64_t cons = ch.consRate;
-  const std::uint64_t qDst = q_[ch.dst];
-  const auto weight = static_cast<std::int64_t>(timed_.execTime[ch.src]);
-  std::size_t slot = slabOffset_[channel];
-  for (std::uint64_t j = 0; j < qDst; ++j) {
-    for (std::uint64_t k = 0; k < cons; ++k) {
-      const sdf::TokenDependency dep =
-          sdf::hsdfTokenDependency(j * cons + k, ch.initialTokens, ch.prodRate, q_[ch.src]);
-      CycleRatioEdge& e = edges_[slot++];
-      e.from = copyStart_[ch.src] + static_cast<std::uint32_t>(dep.srcCopy);
-      e.to = copyStart_[ch.dst] + static_cast<std::uint32_t>(j);
-      e.weight = weight;
-      e.delay = static_cast<std::int64_t>(dep.delay);
-    }
+    // The immutable prefix (topology, repetition vector, self-
+    // concurrency edges, static-order chains) is encoded once here;
+    // setInitialTokens only re-encodes the touched channel's slab.
+    flat_.build(timed_, res);
+    solver_.setThreads(options_.solverThreads);
   }
 }
 
@@ -140,7 +41,7 @@ void IncrementalThroughput::setInitialTokens(ChannelId channel, std::uint64_t to
   }
   timed_.graph.setInitialTokens(channel, tokens);
   if (fastPath_) {
-    rebuildChannelSlab(channel);
+    flat_.patchChannel(timed_, channel);
   }
 }
 
@@ -152,32 +53,22 @@ ThroughputResult IncrementalThroughput::compute() {
 
   ThroughputResult result;
   result.engine = ThroughputEngine::Mcr;
-  result.hsdfActors = hsdfActors_;
-  if (hsdfActors_ == 0) {
+  result.hsdfActors = flat_.hsdfActors();
+  if (flat_.hsdfActors() == 0) {
     result.status = ThroughputResult::Status::Deadlock;
     return result;
   }
 
-  // Collapse parallel edges to the minimum-delay representative (all
-  // parallel edges share the source, hence the weight), exactly like
-  // the from-scratch MCR path does before Howard runs.
-  collapsed_.clear();
-  collapsed_.reserve(edges_.size());
-  // lint:allow(unordered-deterministic) -- never iterated: try_emplace lookups only, and min() over parallel delays is order-independent
-  std::unordered_map<std::uint64_t, std::size_t> byPair;
-  byPair.reserve(edges_.size());
-  for (const CycleRatioEdge& e : edges_) {
-    const std::uint64_t key = (std::uint64_t{e.from} << 32) | e.to;
-    const auto [it, inserted] = byPair.try_emplace(key, collapsed_.size());
-    if (!inserted) {
-      CycleRatioEdge& existing = collapsed_[it->second];
-      existing.delay = std::min(existing.delay, e.delay);
-      continue;
-    }
-    collapsed_.push_back(e);
+  const std::vector<CycleRatioEdge>* edges = nullptr;
+  {
+    support::ScopedTimer timer(result.expansionNanos);
+    edges = &flat_.collapse();
   }
-
-  const CycleRatioResult mcr = solver_.solve(hsdfActors_, collapsed_);
+  CycleRatioResult mcr;
+  {
+    support::ScopedTimer timer(result.solveNanos);
+    mcr = solver_.solve(static_cast<std::size_t>(flat_.hsdfActors()), *edges);
+  }
   switch (mcr.status) {
     case CycleRatioResult::Status::Ok:
       if (mcr.ratio.isZero()) {

@@ -26,6 +26,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/flat_hsdf.hpp"
 #include "analysis/mcm.hpp"
 #include "analysis/throughput.hpp"
 #include "sdf/graph.hpp"
@@ -80,23 +81,25 @@ class IncrementalThroughput {
   /// @return the internal graph copy
   [[nodiscard]] const sdf::TimedGraph& graph() const { return timed_; }
 
- private:
-  void buildExpansion();
-  void rebuildChannelSlab(sdf::ChannelId channel);
+  /// Seed the internal solver's next solve from a previously exported
+  /// policy — e.g. a neighboring design point's converged policy during
+  /// a DSE sweep. Warm starts never change results (see
+  /// SolverWarmStart); mismatched handles are ignored.
+  /// @param warm the handle to copy hints from
+  void adoptWarmStart(const SolverWarmStart& warm) { solver_.adoptWarmStart(warm); }
 
+  /// Export the internal solver's converged policy for seeding another
+  /// context.
+  /// @param warm the handle to copy hints into
+  void exportWarmStart(SolverWarmStart& warm) const { solver_.exportWarmStart(warm); }
+
+ private:
   sdf::TimedGraph timed_;  ///< current token state (also the fallback input)
   std::optional<ResourceConstraints> resources_;
   ThroughputOptions options_;
   bool fastPath_ = false;
-
-  // --- cached MCR expansion (fast path only) -------------------------
-  std::vector<std::uint64_t> q_;          ///< repetition vector
-  std::vector<std::uint32_t> copyStart_;  ///< actor -> first firing copy
-  std::uint64_t hsdfActors_ = 0;          ///< total firing copies
-  std::vector<CycleRatioEdge> edges_;     ///< flat edge table
-  std::vector<std::size_t> slabOffset_;   ///< channel -> offset into edges_
-  CycleRatioSolver solver_;               ///< warm-started across compute()s
-  std::vector<CycleRatioEdge> collapsed_;  ///< scratch: min-delay per pair
+  FlatExpansion flat_;       ///< cached flat expansion (fast path only)
+  CycleRatioSolver solver_;  ///< warm-started across compute()s
 };
 
 }  // namespace mamps::analysis

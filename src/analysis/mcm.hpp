@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -61,6 +62,20 @@ struct CycleRatioEdge {
   std::int64_t delay = 0;
 };
 
+/// Portable warm-start handle for CycleRatioSolver: a converged policy
+/// from a previous solve, stored as preferred successor per node.
+/// Seeding from any handle — including one from a *different* graph —
+/// never changes a result: Howard's policy iteration converges to the
+/// unique maximum cycle ratio from any initial policy, so a warm start
+/// only changes how many improvement sweeps convergence takes. The DSE
+/// engine hands one handle per sweep worker through the mapping flow so
+/// neighboring design points seed each other (mapping/dse.hpp).
+struct SolverWarmStart {
+  /// node -> preferred successor node (0xffffffff = no preference).
+  /// Ignored wholesale when the size does not match the solved problem.
+  std::vector<std::uint32_t> preferredSuccessor;
+};
+
 /// Howard's policy iteration over an explicit edge list, with reusable
 /// policy state: successive solve() calls on perturbed versions of the
 /// same graph warm-start from the previous optimal policy (stored as
@@ -68,8 +83,25 @@ struct CycleRatioEdge {
 /// which typically converges in one or two sweeps. A default-constructed
 /// solver is cold; the first solve() behaves exactly like
 /// maxCycleRatioHoward().
+///
+/// Internally a solve runs Kahn-style cyclic-core peeling, a zero-delay
+/// deadlock check, ratio-preserving chain contraction, strongly
+/// connected component decomposition, and one Howard instance per
+/// component (components are independent, so the maximum over them is
+/// the global MCR and, with setThreads(), components solve in
+/// parallel without affecting any result). All per-solve scratch is
+/// retained across calls, so repeated solves allocate nothing on the
+/// steady state.
 class CycleRatioSolver {
  public:
+  CycleRatioSolver();
+  ~CycleRatioSolver();
+  /// Copying transfers the warm-start hints but not the scratch arenas.
+  CycleRatioSolver(const CycleRatioSolver& other);
+  CycleRatioSolver& operator=(const CycleRatioSolver& other);
+  CycleRatioSolver(CycleRatioSolver&&) noexcept;
+  CycleRatioSolver& operator=(CycleRatioSolver&&) noexcept;
+
   /// Maximum cycle ratio sum(weight)/sum(delay) over the cycles of the
   /// edge list. Parallel edges are permitted (only the minimum-delay one
   /// can attain the maximum when weights agree, but the solver does not
@@ -80,8 +112,33 @@ class CycleRatioSolver {
   [[nodiscard]] CycleRatioResult solve(std::size_t nodeCount,
                                       const std::vector<CycleRatioEdge>& edges);
 
+  /// Worker threads for the independent per-SCC Howard solves (large
+  /// expansions with several strongly connected components solve them
+  /// concurrently). Results are bit-identical for any thread count —
+  /// the per-component problems share nothing and the maximum over
+  /// components is reduced in deterministic component order.
+  /// @param threads thread cap; 0 and 1 both mean sequential
+  void setThreads(unsigned threads) { threads_ = threads == 0 ? 1 : threads; }
+
+  /// Seed the next solve() from a previously exported policy.
+  /// @param warm the handle to copy hints from
+  void adoptWarmStart(const SolverWarmStart& warm) {
+    preferredSuccessor_ = warm.preferredSuccessor;
+  }
+
+  /// Export the current policy hints (the converged policy of the last
+  /// successful solve) into a handle.
+  /// @param warm the handle to copy hints into
+  void exportWarmStart(SolverWarmStart& warm) const {
+    warm.preferredSuccessor = preferredSuccessor_;
+  }
+
  private:
+  struct Scratch;  // reusable per-solve arenas; defined in mcm.cpp
+
   std::vector<std::uint32_t> preferredSuccessor_;  ///< warm-start hints
+  unsigned threads_ = 1;                           ///< per-SCC solve threads
+  std::unique_ptr<Scratch> scratch_;               ///< lazily created, reused
 };
 
 /// Maximum cycle ratio of a timed HSDF graph via Howard's policy
@@ -117,18 +174,23 @@ class CycleRatioSolver {
 [[nodiscard]] sdf::HsdfExpansion toHsdfWithStaticOrder(const sdf::TimedGraph& timed,
                                                        const ResourceConstraints& resources);
 
-/// Full throughput verdict via the MCR fast path: HSDF expansion (plus
-/// static-order encoding when `resources` is non-null) and Howard's
-/// policy iteration. Never returns Status::Diverged or StepLimit; for
-/// graphs that are not strongly bounded it reports the exact long-run
-/// iteration completion rate.
+/// Full throughput verdict via the MCR fast path: flat HSDF expansion
+/// (analysis/flat_hsdf.hpp; static orders encoded as precedence edges
+/// when `resources` is non-null) and Howard's policy iteration. Never
+/// returns Status::Diverged or StepLimit; for graphs that are not
+/// strongly bounded it reports the exact long-run iteration completion
+/// rate. Only `options.solverThreads` affects this entry point (engine
+/// selection already happened when it is called); the per-phase
+/// expansion/solve counters of the result are filled in.
 /// @param timed the SDF graph to analyze
 /// @param resources optional binding and static orders (may be null)
+/// @param options solver tuning (thread count for per-SCC solves)
 /// @return a ThroughputResult with `engine == ThroughputEngine::Mcr`
 /// @throws AnalysisError on shape violations (execTime size, schedule
 ///   appearance counts)
 [[nodiscard]] ThroughputResult computeThroughputMcr(
-    const sdf::TimedGraph& timed, const ResourceConstraints* resources = nullptr);
+    const sdf::TimedGraph& timed, const ResourceConstraints* resources = nullptr,
+    const ThroughputOptions& options = {});
 
 /// Throughput of an SDF graph via conversion to HSDF and MCR analysis.
 /// @param timed the SDF graph to analyze

@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <limits>
 #include <map>
-#include <unordered_map>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "analysis/mcm.hpp"
 #include "sdf/repetition_vector.hpp"
+#include "support/timer.hpp"
 
 namespace mamps::analysis {
 namespace {
@@ -24,14 +25,126 @@ using sdf::Graph;
 /// positions, packed into one flat buffer.
 using StateKey = std::vector<std::uint64_t>;
 
-struct StateKeyHash {
-  std::size_t operator()(const StateKey& key) const {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (const std::uint64_t v : key) {
-      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+/// Open-addressing store of quiescent states. Every key's words live
+/// back-to-back in one contiguous arena; a slot records (offset, length,
+/// visit) so a lookup is one linear probe over a flat table plus a
+/// word-wise compare into the arena — no per-state key allocation, no
+/// node-based buckets. Membership is decided by exact key equality
+/// (the hash only picks the starting probe), so verdicts and
+/// statesExplored are bit-identical to a node-based map. Iteration
+/// order never escapes: only size(), lookups, and the prune count are
+/// observable, and the step-watermark prune keeps exactly the same set
+/// a per-entry erase would.
+class FlatStateStore {
+ public:
+  /// Bookkeeping of one stored quiescent state.
+  struct Visit {
+    std::uint64_t time = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t step = 0;
+  };
+
+  FlatStateStore() { slots_.resize(kInitialSlots); }
+
+  /// Number of live states.
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Find `key`, inserting it with `visit` when absent.
+  /// @return the stored visit (valid until the next insert or prune)
+  ///   and whether an insert happened
+  std::pair<Visit*, bool> tryEmplace(const StateKey& key, const Visit& visit) {
+    if ((size_ + 1) * 4 >= slots_.size() * 3) {
+      rehash(slots_.size() * 2);
     }
-    return static_cast<std::size_t>(h);
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hashKey(key.data(), key.size()) & mask;
+    while (slots_[i].len != kEmpty) {
+      if (slots_[i].len == key.size() &&
+          std::equal(key.begin(), key.end(), arena_.begin() + slots_[i].offset)) {
+        return {&slots_[i].visit, false};
+      }
+      i = (i + 1) & mask;
+    }
+    Slot& slot = slots_[i];
+    slot.offset = arena_.size();
+    slot.len = key.size();
+    slot.visit = visit;
+    arena_.insert(arena_.end(), key.begin(), key.end());
+    ++size_;
+    return {&slot.visit, true};
   }
+
+  /// Drop every state whose visit step is below `watermark` and compact
+  /// the key arena (the dropped transient-prefix keys are the bulk of
+  /// it). @return the number of dropped states
+  std::uint64_t pruneBelow(std::uint64_t watermark) {
+    std::uint64_t dropped = 0;
+    std::vector<std::uint64_t> keptArena;
+    keptArena.reserve(arena_.size());
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size(), Slot{});
+    size_ = 0;
+    const std::size_t mask = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.len == kEmpty) {
+        continue;
+      }
+      if (s.visit.step < watermark) {
+        ++dropped;
+        continue;
+      }
+      std::size_t i = hashKey(arena_.data() + s.offset, s.len) & mask;
+      while (slots_[i].len != kEmpty) {
+        i = (i + 1) & mask;
+      }
+      slots_[i].offset = keptArena.size();
+      slots_[i].len = s.len;
+      slots_[i].visit = s.visit;
+      keptArena.insert(keptArena.end(), arena_.begin() + s.offset,
+                       arena_.begin() + s.offset + s.len);
+      ++size_;
+    }
+    arena_ = std::move(keptArena);
+    return dropped;
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 1024;  // power of two
+  static constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
+
+  struct Slot {
+    std::size_t offset = 0;    ///< first word of the key in the arena
+    std::size_t len = kEmpty;  ///< key length in words (kEmpty = free)
+    Visit visit;
+  };
+
+  static std::uint64_t hashKey(const std::uint64_t* words, std::size_t len) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= words[i] + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+  void rehash(std::size_t newSlotCount) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(newSlotCount, Slot{});
+    const std::size_t mask = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.len == kEmpty) {
+        continue;
+      }
+      std::size_t i = hashKey(arena_.data() + s.offset, s.len) & mask;
+      while (slots_[i].len != kEmpty) {
+        i = (i + 1) & mask;
+      }
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;            ///< open-addressing table
+  std::vector<std::uint64_t> arena_;   ///< concatenated key words
+  std::size_t size_ = 0;               ///< live states
 };
 
 class Simulator {
@@ -56,6 +169,22 @@ class Simulator {
   }
 
   ThroughputResult run() {
+    // Phase profile: storeNanos_ is accumulated around the encode/
+    // store/prune blocks inside runImpl(); everything else of the loop
+    // is the solver proper.
+    std::uint64_t totalNanos = 0;
+    ThroughputResult result;
+    {
+      support::ScopedTimer timer(totalNanos);
+      result = runImpl();
+    }
+    result.storeNanos = storeNanos_;
+    result.solveNanos = totalNanos - std::min(storeNanos_, totalNanos);
+    return result;
+  }
+
+ private:
+  ThroughputResult runImpl() {
     ThroughputResult result;
     result.engine = ThroughputEngine::StateSpace;
     const auto qOpt = sdf::computeRepetitionVector(graph_);
@@ -84,15 +213,8 @@ class Simulator {
     }
     const std::uint64_t divergenceThreshold = initialTotal + 64 * perIteration + 4096;
 
-    struct Visit {
-      std::uint64_t time = 0;
-      std::uint64_t completions = 0;
-      std::uint64_t step = 0;
-    };
-    // lint:allow(unordered-deterministic) -- iterated only to erase below a step watermark; only size() escapes, so iteration order never reaches a result
-    std::unordered_map<StateKey, Visit, StateKeyHash> seen;
+    FlatStateStore seen;
     std::uint64_t pruned = 0;
-    std::uint64_t pruneWatermark = 0;
     const std::uint64_t storeLimit = std::max<std::uint64_t>(options_.maxStoredStates, 16);
 
     for (std::uint64_t step = 0; step < options_.maxSteps; ++step) {
@@ -121,9 +243,16 @@ class Simulator {
         return result;
       }
 
-      const auto [it, inserted] = seen.try_emplace(encodeState(), Visit{now_, refCompletions_, step});
+      FlatStateStore::Visit* visit = nullptr;
+      bool inserted = false;
+      {
+        support::ScopedTimer timer(storeNanos_);
+        encodeState(keyBuffer_);
+        std::tie(visit, inserted) =
+            seen.tryEmplace(keyBuffer_, FlatStateStore::Visit{now_, refCompletions_, step});
+      }
       if (!inserted) {
-        const Visit& prev = it->second;
+        const FlatStateStore::Visit& prev = *visit;
         const std::uint64_t period = now_ - prev.time;
         const std::uint64_t completions = refCompletions_ - prev.completions;
         result.statesExplored = seen.size() + pruned;
@@ -149,15 +278,8 @@ class Simulator {
       // window ends in StepLimit — raise maxStoredStates for such
       // graphs.
       if (seen.size() > storeLimit) {
-        pruneWatermark = step - storeLimit / 2;
-        for (auto entry = seen.begin(); entry != seen.end();) {
-          if (entry->second.step < pruneWatermark) {
-            entry = seen.erase(entry);
-            ++pruned;
-          } else {
-            ++entry;
-          }
-        }
+        support::ScopedTimer timer(storeNanos_);
+        pruned += seen.pruneBelow(step - storeLimit / 2);
       }
 
       advanceTime();
@@ -208,8 +330,10 @@ class Simulator {
     }
   }
 
-  [[nodiscard]] StateKey encodeState() const {
-    StateKey key;
+  /// Encode the current quiescent state into `key` (a reusable buffer;
+  /// no allocation once its capacity has grown to the key size).
+  void encodeState(StateKey& key) const {
+    key.clear();
     key.reserve(graph_.channelCount() + 2 * graph_.actorCount() + schedulePos_.size());
     for (ChannelId c = 0; c < graph_.channelCount(); ++c) {
       if (storeToken_[c]) {
@@ -223,7 +347,6 @@ class Simulator {
     for (const std::uint32_t p : schedulePos_) {
       key.push_back(p);
     }
-    return key;
   }
 
   [[nodiscard]] std::uint32_t resourceOf(ActorId a) const {
@@ -353,6 +476,8 @@ class Simulator {
   std::vector<std::uint32_t> schedulePos_;             // per resource
   std::uint64_t now_ = 0;
   std::uint64_t refCompletions_ = 0;
+  StateKey keyBuffer_;            // reusable state-key encode buffer
+  std::uint64_t storeNanos_ = 0;  // encode/store/prune time (profile)
 };
 
 /// Saturating accumulate for the HSDF-size estimate.
@@ -449,13 +574,13 @@ ThroughputResult dispatch(const sdf::TimedGraph& timed, const ResourceConstraint
         throw AnalysisError(std::string("computeThroughput: MCR engine not applicable: ") +
                             reason);
       }
-      return computeThroughputMcr(timed, resources);
+      return computeThroughputMcr(timed, resources, options);
     }
     // Auto: take the fast path when it is exact and the expansion stays
     // reasonably sized.
     if (representable &&
         hsdfSizeEstimate(timed, resources, *qOpt) <= options.maxMcrHsdfSize) {
-      return computeThroughputMcr(timed, resources);
+      return computeThroughputMcr(timed, resources, options);
     }
   }
 

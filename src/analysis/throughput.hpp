@@ -102,6 +102,10 @@ struct ThroughputOptions {
   /// phases longer than roughly half this bound can no longer be
   /// detected and end in Status::StepLimit.
   std::uint64_t maxStoredStates = 1u << 20;
+  /// MCR only: worker threads for the independent per-SCC Howard solves
+  /// of one cycle-ratio problem (CycleRatioSolver::setThreads). Results
+  /// are bit-identical for any value; 0 and 1 both mean sequential.
+  unsigned solverThreads = 1;
 };
 
 /// Would Auto engine selection route this analysis to the MCR fast
@@ -152,6 +156,20 @@ struct ThroughputResult {
   std::uint64_t periodCycles = 0;
   /// MCR engine: number of actors of the analyzed HSDF expansion.
   std::uint64_t hsdfActors = 0;
+
+  // Per-phase wall-clock profile of the analysis (support::ScopedTimer
+  // accumulations; integer nanoseconds so equality checks stay exact).
+  // Timings are measurements, not results: the determinism property
+  // wall compares every field of two ThroughputResults *except* these.
+  /// Nanoseconds spent building/patching/collapsing the HSDF edge
+  /// tables (MCR engine only).
+  std::uint64_t expansionNanos = 0;
+  /// Nanoseconds spent in the solver proper: Howard's policy iteration
+  /// (MCR) or the simulation loop minus state storage (state-space).
+  std::uint64_t solveNanos = 0;
+  /// Nanoseconds spent encoding, storing, and pruning quiescent states
+  /// (state-space engine only).
+  std::uint64_t storeNanos = 0;
 
   /// True when the analysis completed with a throughput value.
   /// @return status == Status::Ok

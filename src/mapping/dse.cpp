@@ -5,6 +5,8 @@
 #include <exception>
 #include <thread>
 
+#include "analysis/mcm.hpp"
+#include "platform/area.hpp"
 #include "support/thread_annotations.hpp"
 
 namespace mamps::mapping {
@@ -66,11 +68,12 @@ std::string makeLabel(const DesignPoint& point) {
 }
 
 /// Run one design point end to end. Everything this touches is either
-/// point-local or immutable shared state, so points are freely
-/// parallelizable.
+/// point-local or immutable shared state except `warm`, which is owned
+/// by exactly one worker (each worker passes its own handle), so points
+/// are freely parallelizable.
 DesignPointResult explorePoint(const std::vector<const sdf::ApplicationModel*>& apps,
                                const std::vector<AppAnalysisCache>* caches,
-                               const DesignPoint& point) {
+                               const DesignPoint& point, analysis::SolverWarmStart* warm) {
   DesignPointResult result;
   result.label = makeLabel(point);
   const auto start = Clock::now();
@@ -83,16 +86,37 @@ DesignPointResult explorePoint(const std::vector<const sdf::ApplicationModel*>& 
     }
     return local.emplace_back(prepareApplication(*apps[i]));
   };
+  std::uint32_t fslLinks = 0;
   if (point.workloadApps.empty()) {
-    result.mapping = mapApplication(cacheFor(0), arch, point.options);
+    MappingOptions options = point.options;
+    if (warm != nullptr) {
+      options.solverWarmStart = warm;
+    }
+    result.mapping = mapApplication(cacheFor(0), arch, options);
+    if (result.mapping) {
+      fslLinks = result.mapping->mapping.fslLinkCount();
+    }
   } else {
     std::vector<AppAnalysisCache> workload;
     workload.reserve(point.workloadApps.size());
     for (const std::size_t i : point.workloadApps) {
       workload.push_back(cacheFor(i));
     }
-    result.workload = mapWorkload(workload, arch, point.workloadOptions);
+    WorkloadOptions options = point.workloadOptions;
+    if (warm != nullptr) {
+      options.options.solverWarmStart = warm;
+      for (MappingOptions& appOptions : options.appOptions) {
+        appOptions.solverWarmStart = warm;
+      }
+    }
+    result.workload = mapWorkload(workload, arch, options);
+    for (const std::optional<MappingResult>& app : result.workload->apps) {
+      if (app) {
+        fslLinks += app->mapping.fslLinkCount();
+      }
+    }
   }
+  result.platformSlices = platform::platformSlices(arch, fslLinks);
   result.seconds = seconds(Clock::now() - start);
   return result;
 }
@@ -150,14 +174,18 @@ DseResult exploreDesignSpace(const std::vector<const sdf::ApplicationModel*>& ap
   out.points.resize(points.size());
 
   // Deterministic by construction: worker i writes only out.points[i],
-  // and every point's computation depends only on immutable inputs, so
-  // the result is independent of scheduling and thread count.
+  // and every point's computation depends only on immutable inputs plus
+  // its worker's private warm-start handle — which Howard's unique
+  // fixpoint makes result-neutral — so the result is independent of
+  // scheduling and thread count.
   std::atomic<std::size_t> next{0};
   ErrorCollector errors;
   const auto worker = [&] {
+    analysis::SolverWarmStart warm;
+    analysis::SolverWarmStart* warmPtr = options.crossPointWarmStart ? &warm : nullptr;
     for (std::size_t i = next.fetch_add(1); i < points.size(); i = next.fetch_add(1)) {
       try {
-        out.points[i] = explorePoint(apps, sharedCaches, points[i]);
+        out.points[i] = explorePoint(apps, sharedCaches, points[i], warmPtr);
       } catch (...) {
         errors.capture();
       }

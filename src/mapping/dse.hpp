@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -62,6 +63,11 @@ struct DesignPointResult {
   /// Workload points: the co-mapping outcome (nullopt for
   /// single-application points).
   std::optional<WorkloadResult> workload;
+  /// FPGA area of this point's platform in Virtex-6 slices
+  /// (platform::platformSlices with the mapping's live FSL links), so a
+  /// sweep reports the throughput × area trade-off directly. Filled for
+  /// every point, including infeasible ones (with zero live links).
+  std::uint32_t platformSlices = 0;
   /// Wall time spent mapping and analyzing this point, in seconds.
   double seconds = 0.0;
 
@@ -81,6 +87,17 @@ struct DseOptions {
   /// the application per point; it exists for the from-scratch baseline
   /// of bench/bench_dse.cpp and changes nothing about the results.
   bool reusePreparation = true;
+  /// Cross-point Howard warm starts: each worker keeps one
+  /// analysis::SolverWarmStart handle and threads it through the points
+  /// it processes, so a point's cycle-ratio solves seed from the
+  /// previous point's converged policy (points are swept in input
+  /// order, which generated sweeps lay out so neighbors differ in one
+  /// knob). Pure acceleration — results are bit-identical with the
+  /// flag off, with any thread count, and for any point-to-worker
+  /// assignment, because Howard converges to the unique maximum cycle
+  /// ratio from any initial policy (see docs/throughput.md). Exists as
+  /// a flag for the cold baseline of bench/bench_dse.cpp.
+  bool crossPointWarmStart = true;
 };
 
 /// Result of a sweep.

@@ -14,6 +14,10 @@
 #include "sdf/app_model.hpp"
 #include "support/rational.hpp"
 
+namespace mamps::analysis {
+struct SolverWarmStart;  // analysis/mcm.hpp
+}  // namespace mamps::analysis
+
 namespace mamps::mapping {
 
 /// Interconnect assignment of one inter-tile channel.
@@ -104,6 +108,15 @@ struct MappingOptions {
   /// ceil(wcet * S / k) + wheelOverheadCycles before analysis, so the
   /// guarantee is a valid lower bound whatever co-residents do.
   std::uint32_t tdmSlots = 0;
+  /// Optional cross-run solver warm-start handle (non-owning; null =
+  /// cold solves). When set, the buffer-growth loop's incremental
+  /// analysis seeds Howard's policy iteration from the handle and
+  /// writes its converged policy back, so consecutive mappings of
+  /// similar design points (a DSE sweep's neighboring platforms) skip
+  /// most improvement sweeps. Pure acceleration: results are
+  /// bit-identical with or without it (see analysis::SolverWarmStart),
+  /// and admission decision keys deliberately exclude it.
+  analysis::SolverWarmStart* solverWarmStart = nullptr;
 };
 
 /// Intermediate per-tile accounting used by binding and generation.

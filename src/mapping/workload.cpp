@@ -227,6 +227,13 @@ std::optional<MappingResult> mapOntoBudget(const AppAnalysisCache& cache,
     // the incremental context instead of rebuilding and re-expanding.
     result.model = buildBindingAware(app, arch, result.mapping, wcet);
     analysis::IncrementalThroughput context(result.model.graph, &result.model.resources);
+    // Cross-run warm start: seed the first solve from the caller's
+    // handle (e.g. the previous design point of a DSE sweep) and hand
+    // the converged policy back after the growth loop. Acceleration
+    // only — results never depend on the seed.
+    if (options.solverWarmStart != nullptr) {
+      context.adoptWarmStart(*options.solverWarmStart);
+    }
     result.throughput = context.compute();
     for (std::uint32_t round = 0;; ++round) {
       const bool met = constraintMet(result.throughput);
@@ -237,6 +244,9 @@ std::optional<MappingResult> mapOntoBudget(const AppAnalysisCache& cache,
       growBuffers(g, result.mapping);
       patchCapacityTokens(g, result.mapping, result.model, &context);
       result.throughput = context.compute();
+    }
+    if (options.solverWarmStart != nullptr && context.onFastPath()) {
+      context.exportWarmStart(*options.solverWarmStart);
     }
   } else {
     // From-scratch baseline: rebuild the model and re-run the unified

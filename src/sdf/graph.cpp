@@ -8,11 +8,12 @@ ActorId Graph::addActor(std::string name) {
   if (name.empty()) {
     throw ModelError("actor name must be non-empty");
   }
-  if (findActor(name)) {
+  const auto id = static_cast<ActorId>(actors_.size());
+  if (!actorIndex_.try_emplace(name, id).second) {
     throw ModelError("duplicate actor name: " + name);
   }
   actors_.push_back(Actor{std::move(name), {}, {}});
-  return static_cast<ActorId>(actors_.size() - 1);
+  return id;
 }
 
 ChannelId Graph::connect(const ChannelSpec& spec) {
@@ -35,10 +36,10 @@ ChannelId Graph::connect(const ChannelSpec& spec) {
   channel.name = spec.name.empty() ? actors_[spec.src].name + "_to_" + actors_[spec.dst].name +
                                          "_" + std::to_string(channels_.size())
                                    : spec.name;
-  if (findChannel(channel.name)) {
+  const auto id = static_cast<ChannelId>(channels_.size());
+  if (!channelIndex_.try_emplace(channel.name, id).second) {
     throw ModelError("duplicate channel name: " + channel.name);
   }
-  const auto id = static_cast<ChannelId>(channels_.size());
   channels_.push_back(std::move(channel));
   actors_[spec.src].outputs.push_back(id);
   actors_[spec.dst].inputs.push_back(id);
@@ -72,21 +73,19 @@ const Channel& Graph::channel(ChannelId id) const {
 }
 
 std::optional<ActorId> Graph::findActor(std::string_view name) const {
-  for (std::size_t i = 0; i < actors_.size(); ++i) {
-    if (actors_[i].name == name) {
-      return static_cast<ActorId>(i);
-    }
+  const auto it = actorIndex_.find(name);
+  if (it == actorIndex_.end()) {
+    return std::nullopt;
   }
-  return std::nullopt;
+  return it->second;
 }
 
 std::optional<ChannelId> Graph::findChannel(std::string_view name) const {
-  for (std::size_t i = 0; i < channels_.size(); ++i) {
-    if (channels_[i].name == name) {
-      return static_cast<ChannelId>(i);
-    }
+  const auto it = channelIndex_.find(name);
+  if (it == channelIndex_.end()) {
+    return std::nullopt;
   }
-  return std::nullopt;
+  return it->second;
 }
 
 ActorId Graph::actorByName(std::string_view name) const {

@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "support/error.hpp"
@@ -112,9 +113,26 @@ class Graph {
   void validate() const;
 
  private:
+  /// Transparent string hasher so the name indexes answer
+  /// string_view lookups without materializing a std::string.
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::string name_ = "sdf";
   std::vector<Actor> actors_;
   std::vector<Channel> channels_;
+  // Name -> id indexes so addActor/connect duplicate checks and
+  // findActor/findChannel are O(1) instead of a linear name scan (HSDF
+  // expansions add tens of thousands of uniquely named elements, making
+  // the scan quadratic in the expansion size).
+  // lint:allow(unordered-deterministic) -- lookup-only index (find/emplace by exact name), never iterated
+  std::unordered_map<std::string, ActorId, NameHash, std::equal_to<>> actorIndex_;
+  // lint:allow(unordered-deterministic) -- lookup-only index (find/emplace by exact name), never iterated
+  std::unordered_map<std::string, ChannelId, NameHash, std::equal_to<>> channelIndex_;
 };
 
 /// An SDF graph together with one execution time (in clock cycles of the

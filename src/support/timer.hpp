@@ -1,0 +1,39 @@
+// Lightweight scoped wall-clock timer for in-result profiling counters.
+//
+// The analysis layer attributes its wall time to phases (expansion /
+// solve / store) directly in ThroughputResult, so perf regressions can
+// be localized from any test or bench run without an external profiler.
+// ScopedTimer accumulates elapsed nanoseconds into a caller-owned
+// counter on destruction; counters are plain integers, so results stay
+// copyable and comparisons of the semantic fields stay exact.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mamps::support {
+
+/// Accumulates the scope's wall-clock duration (steady clock,
+/// nanoseconds) into the referenced counter when the scope exits.
+class ScopedTimer {
+ public:
+  /// Start timing; `sink` must outlive the timer.
+  /// @param sink counter receiving the elapsed nanoseconds on destruction
+  explicit ScopedTimer(std::uint64_t& sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    const auto end = std::chrono::steady_clock::now();
+    sink_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_).count());
+  }
+
+ private:
+  std::uint64_t& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mamps::support
